@@ -1,0 +1,162 @@
+// Command ampdu-dump decodes an A-MPDU PSDU from hex and pretty-prints its
+// subframes, gopacket-style: delimiters, MAC headers, FCS status and the
+// block-ACK bitmap an AP would emit — the bitmap a WiTAG reader mines for
+// tag bits.
+//
+// Usage:
+//
+//	ampdu-dump <hexfile>          # file containing hex (whitespace ok)
+//	echo 30004e... | ampdu-dump   # or hex on stdin
+//	ampdu-dump -demo              # build and dump a demo query A-MPDU
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"witag/internal/dot11"
+	"witag/internal/mac"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "dump a freshly built demo query A-MPDU")
+	flag.Parse()
+
+	var psdu []byte
+	var err error
+	switch {
+	case *demo:
+		psdu, err = buildDemo()
+	case flag.NArg() >= 1:
+		psdu, err = readHexFile(flag.Arg(0))
+	default:
+		psdu, err = readHexStream(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ampdu-dump:", err)
+		os.Exit(1)
+	}
+	if err := dump(os.Stdout, psdu); err != nil {
+		fmt.Fprintln(os.Stderr, "ampdu-dump:", err)
+		os.Exit(1)
+	}
+}
+
+func buildDemo() ([]byte, error) {
+	src := dot11.MACAddr{0x02, 0, 0, 0, 0, 0x10}
+	dst := dot11.MACAddr{0x02, 0, 0, 0, 0, 0x01}
+	sched, err := mac.NewAMPDUScheduler(src, dst, dst, 0)
+	if err != nil {
+		return nil, err
+	}
+	agg, _, err := sched.BuildAMPDU([][]byte{nil, []byte("witag demo"), nil, nil})
+	if err != nil {
+		return nil, err
+	}
+	psdu, err := agg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	// Corrupt the third subframe to show how a tag's mark appears.
+	bounds, err := agg.SubframeBounds()
+	if err != nil {
+		return nil, err
+	}
+	for i := bounds[2][0]; i < bounds[2][1]; i++ {
+		psdu[i] ^= 0xA5
+	}
+	return psdu, nil
+}
+
+func readHexFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readHexStream(f)
+}
+
+func readHexStream(r io.Reader) ([]byte, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	clean := strings.Map(func(r rune) rune {
+		if strings.ContainsRune("0123456789abcdefABCDEF", r) {
+			return r
+		}
+		return -1
+	}, string(raw))
+	if len(clean) == 0 {
+		return nil, fmt.Errorf("no hex input")
+	}
+	return hex.DecodeString(clean)
+}
+
+func dump(w io.Writer, psdu []byte) error {
+	fmt.Fprintf(w, "PSDU: %d bytes\n", len(psdu))
+	subs, err := dot11.Deaggregate(psdu)
+	if err != nil {
+		fmt.Fprintf(w, "  (deaggregation stopped early: %v)\n", err)
+	}
+	if len(subs) == 0 {
+		return fmt.Errorf("no subframes found")
+	}
+	var startSeq uint16
+	haveStart := false
+	var ba *dot11.BlockAck
+	for i, s := range subs {
+		fmt.Fprintf(w, "subframe %d: %d bytes", i, len(s.MPDU))
+		f, err := dot11.UnmarshalQoSData(s.MPDU)
+		if err != nil {
+			fmt.Fprintf(w, "  FCS=BAD (%v)\n", err)
+			continue
+		}
+		if !haveStart {
+			startSeq = f.SeqNum
+			haveStart = true
+			ba = &dot11.BlockAck{RA: f.Addr2, TA: f.Addr1, TID: f.TID, StartSeq: startSeq}
+		}
+		if ba != nil {
+			if err := ba.SetAcked(f.SeqNum); err != nil {
+				fmt.Fprintf(w, "  (outside BA window: %v)", err)
+			}
+		}
+		fmt.Fprintf(w, "  FCS=OK type=%v seq=%d tid=%d %v→%v",
+			f.FC.Type, f.SeqNum, f.TID, f.Addr2, f.Addr1)
+		if f.FC.Protected {
+			fmt.Fprintf(w, " protected")
+		}
+		if len(f.Body) > 0 {
+			fmt.Fprintf(w, " body=%dB %q", len(f.Body), previewBody(f.Body))
+		}
+		fmt.Fprintln(w)
+	}
+	if ba != nil {
+		wire, err := ba.Marshal()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "block ACK the AP would send: start=%d bitmap=%016x (%d bytes on air)\n",
+			ba.StartSeq, ba.Bitmap, len(wire))
+		bits, err := ba.BitmapBits(len(subs))
+		if err == nil {
+			fmt.Fprintf(w, "tag bits read from the bitmap: %v\n", bits)
+		}
+	}
+	return nil
+}
+
+func previewBody(b []byte) string {
+	const max = 24
+	s := string(b)
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+// Command witag-bench regenerates every figure and analytical table of the
+// WiTAG paper from the simulation, printing the same rows/series the paper
+// reports plus this reproduction's measurements.
+//
+// Usage:
+//
+//	witag-bench [-experiment all|fig3|fig5|fig6|s41|compare|power|ablations]
+//	            [-seed N] [-runs N] [-rounds N]
+//
+// Scale note: "-rounds" stands in for the paper's one-minute measurement
+// windows; the defaults keep the full suite under a minute of wall time.
+// Raise them to tighten the statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"witag/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: all, fig3, fig5, fig6, s41, compare, power, ablations")
+		seed       = flag.Int64("seed", 42, "root random seed")
+		runs       = flag.Int("runs", 4, "measurement repetitions (figure 5; figure 6 uses 60)")
+		rounds     = flag.Int("rounds", 700, "query rounds per measurement run")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *seed, *runs, *rounds); err != nil {
+		fmt.Fprintln(os.Stderr, "witag-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, seed int64, runs, rounds int) error {
+	all := experiment == "all"
+	any := false
+
+	if all || experiment == "fig3" {
+		any = true
+		res, err := experiments.Figure3(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig5" {
+		any = true
+		res, err := experiments.Figure5(experiments.Figure5Config{Seed: seed, Runs: runs, Round: rounds})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "fig6" {
+		any = true
+		cfg := experiments.DefaultFigure6Config()
+		cfg.Seed = seed
+		cfg.Round = rounds / 2
+		if cfg.Round < 10 {
+			cfg.Round = 10
+		}
+		a, err := experiments.Figure6(experiments.LocationA, cfg)
+		if err != nil {
+			return err
+		}
+		cfg.Seed = seed + 1
+		b, err := experiments.Figure6(experiments.LocationB, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a.Render())
+		fmt.Println(b.Render())
+		if err := experiments.CheckFigure6Shape(a, b); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "s41" {
+		any = true
+		res, err := experiments.Section41Sweep()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "compare" {
+		any = true
+		res, err := experiments.PriorSystemComparison(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "power" {
+		any = true
+		res, err := experiments.Section7Power(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "ablations" {
+		any = true
+		type ablation struct {
+			name string
+			run  func() (*experiments.AblationResult, error)
+		}
+		for _, a := range []ablation{
+			{"switch mode", func() (*experiments.AblationResult, error) { return experiments.AblationSwitchMode(seed, rounds/2) }},
+			{"trigger count", func() (*experiments.AblationResult, error) { return experiments.AblationTriggerCount(seed, rounds/4) }},
+			{"FEC framing", func() (*experiments.AblationResult, error) { return experiments.AblationFEC(seed, 6) }},
+			{"A-MPDU size", func() (*experiments.AblationResult, error) { return experiments.AblationAMPDUSize(seed, rounds/4) }},
+			{"robust rate", func() (*experiments.AblationResult, error) { return experiments.AblationRobustRate(seed, rounds/4) }},
+			{"encryption", func() (*experiments.AblationResult, error) { return experiments.AblationEncryption(seed, rounds/4) }},
+		} {
+			res, err := a.run()
+			if err != nil {
+				return fmt.Errorf("%s: %w", a.name, err)
+			}
+			fmt.Println(res.Render())
+		}
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

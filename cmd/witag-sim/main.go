@@ -1,0 +1,151 @@
+// Command witag-sim runs a custom WiTAG deployment: place the client, AP
+// and tag anywhere, optionally add walls and encryption, and measure BER,
+// detection rate and tag data rate.
+//
+// Usage examples:
+//
+//	witag-sim -ap 8,0 -tag 2,0.3 -rounds 2000
+//	witag-sim -ap 17,0 -tag 1,0.3 -walls "3.5:7,9:9,13:6" -rounds 1000
+//	witag-sim -cipher ccmp -rounds 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"witag/internal/channel"
+	"witag/internal/core"
+	"witag/internal/crypto80211"
+	"witag/internal/experiments"
+)
+
+func main() {
+	var (
+		apFlag     = flag.String("ap", "8,0", "AP position as x,y metres")
+		tagFlag    = flag.String("tag", "1,0.3", "tag position as x,y metres")
+		wallsFlag  = flag.String("walls", "", "comma-separated x:attenuationDb vertical walls")
+		cipherFlag = flag.String("cipher", "open", "link cipher: open, wep, ccmp")
+		gain       = flag.Float64("gain", experiments.TagGain, "tag effective reflection gain")
+		rounds     = flag.Int("rounds", 1000, "query rounds to run")
+		seed       = flag.Int64("seed", 1, "random seed")
+		tempC      = flag.Float64("temp", 25, "ambient temperature °C")
+	)
+	flag.Parse()
+
+	if err := run(*apFlag, *tagFlag, *wallsFlag, *cipherFlag, *gain, *rounds, *seed, *tempC); err != nil {
+		fmt.Fprintln(os.Stderr, "witag-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePoint(s string) (channel.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return channel.Point{}, fmt.Errorf("point %q must be x,y", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return channel.Point{}, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return channel.Point{}, err
+	}
+	return channel.Point{X: x, Y: y}, nil
+}
+
+func run(apStr, tagStr, wallsStr, cipherStr string, gain float64, rounds int, seed int64, tempC float64) error {
+	ap, err := parsePoint(apStr)
+	if err != nil {
+		return err
+	}
+	tagPos, err := parsePoint(tagStr)
+	if err != nil {
+		return err
+	}
+
+	env := channel.NewEnvironment(seed)
+	env.AddReflector(channel.Point{X: ap.X / 2, Y: 3.5}, 60)
+	env.AddReflector(channel.Point{X: ap.X / 2, Y: -3.5}, 60)
+	env.AddScatterers(4, 0, -3, ap.X, 3, 15, 1.0)
+	if wallsStr != "" {
+		for _, w := range strings.Split(wallsStr, ",") {
+			parts := strings.Split(w, ":")
+			if len(parts) != 2 {
+				return fmt.Errorf("wall %q must be x:attenuationDb", w)
+			}
+			x, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				return err
+			}
+			att, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return err
+			}
+			env.AddWall(channel.Point{X: x, Y: -10}, channel.Point{X: x, Y: 10}, att, "wall")
+		}
+	}
+
+	sys, err := core.NewSystem(env, channel.Point{}, ap, tagPos, gain, seed)
+	if err != nil {
+		return err
+	}
+	sys.TempC = tempC
+	switch cipherStr {
+	case "open":
+	case "wep":
+		c, err := crypto80211.NewWEP([]byte("witag"), 0)
+		if err != nil {
+			return err
+		}
+		sys.Cipher = c
+		sys.Scheduler.Cipher = c
+	case "ccmp":
+		c, err := crypto80211.NewCCMP(make([]byte, 16), [6]byte{2, 0, 0, 0, 0, 0x10}, 0)
+		if err != nil {
+			return err
+		}
+		sys.Cipher = c
+		sys.Scheduler.Cipher = c
+	default:
+		return fmt.Errorf("unknown cipher %q (open, wep, ccmp)", cipherStr)
+	}
+	if err := sys.Reshape(); err != nil {
+		return err
+	}
+
+	rs, err := experiments.MeasureRun(sys, env, rounds, seed+1)
+	if err != nil {
+		return err
+	}
+	rate, err := sys.TagRateBps()
+	if err != nil {
+		return err
+	}
+	snr, err := env.SNR(sys.ClientPos, sys.APPos)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("deployment: client (0,0), AP %v, tag %v, cipher %s\n", ap, tagPos, cipherStr)
+	fmt.Printf("link SNR          : %.1f dB\n", 10*log10(snr))
+	fmt.Printf("query shape       : %d triggers + %d data subframes, %d tick(s)/subframe\n",
+		sys.Spec.TriggerLen, sys.Spec.DataLen, sys.Spec.TicksPerSubframe)
+	fmt.Printf("offered tag rate  : %.1f Kbps\n", rate/1e3)
+	fmt.Printf("rounds            : %d (%.1f s of airtime)\n", rounds, rs.Airtime.Seconds())
+	fmt.Printf("detection rate    : %.3f\n", rs.DetectionRate)
+	fmt.Printf("tag BER           : %.5f (%d/%d bits)\n", rs.BER, rs.Errors, rs.Bits)
+	fmt.Printf("delivered goodput : %.1f Kbps\n", rate/1e3*(1-rs.BER))
+	return nil
+}
+
+func log10(x float64) float64 {
+	if x <= 0 {
+		return -300
+	}
+	return math.Log10(x)
+}

@@ -1,0 +1,155 @@
+// Quickstart: one WiTAG query round end to end.
+//
+// A client 8 m from an AP transmits a 64-subframe query A-MPDU; a
+// battery-free tag between them flips its reflection phase during the
+// subframes that should carry a 0; the AP's ordinary block ACK comes back
+// with exactly those bits cleared. No device other than the tag knows
+// WiTAG exists.
+//
+// The example then drops to the bit-true PHY to show *why* the corruption
+// works: the AP estimates the channel once from the preamble, so a
+// mid-aggregate phase flip leaves it equalising with stale CSI and the
+// affected subframe fails its FCS.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	"witag/internal/channel"
+	"witag/internal/core"
+	"witag/internal/dot11"
+	"witag/internal/phy"
+	"witag/internal/stats"
+)
+
+func main() {
+	if err := analyticRound(); err != nil {
+		log.Fatal(err)
+	}
+	if err := bitTrueDemo(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func analyticRound() error {
+	fmt.Println("=== WiTAG query round (full system) ===")
+
+	// The room: client at the origin, AP 8 m away, some furniture and a
+	// couple of people walking.
+	env := channel.NewEnvironment(1)
+	env.AddReflector(channel.Point{X: 4, Y: 3.5}, 60)
+	env.AddReflector(channel.Point{X: 4, Y: -3.5}, 60)
+	env.AddScatterers(2, 0, -3, 8, 3, 15, 1.0)
+
+	sys, err := core.NewSystem(env,
+		channel.Point{X: 0, Y: 0},   // client
+		channel.Point{X: 8, Y: 0},   // unmodified AP
+		channel.Point{X: 2, Y: 0.3}, // tag
+		68, 7)
+	if err != nil {
+		return err
+	}
+
+	message := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0}
+	res, err := sys.QueryRound(message)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tag sent : %v\n", message)
+	fmt.Printf("client read from the block ACK: %v\n", res.RxBits[:len(message)])
+	fmt.Printf("detected=%v  link SNR=%.1f dB  round airtime=%v  errors=%d\n",
+		res.Detected, res.SNRDb, res.Airtime, res.BitErrors)
+	rate, err := sys.TagRateBps()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sustained tag data rate: %.1f Kbps (the paper reports 40 Kbps)\n\n", rate/1e3)
+	return nil
+}
+
+func bitTrueDemo() error {
+	fmt.Println("=== why corruption works: the bit-true PHY view ===")
+
+	cfg := phy.DefaultConfig()
+	// An aggregate of six QoS null subframes.
+	var mpdus [][]byte
+	for i := 0; i < 6; i++ {
+		f := &dot11.QoSDataFrame{
+			FC:     dot11.FrameControl{Type: dot11.TypeQoSNull, ToDS: true},
+			Addr1:  dot11.MACAddr{2, 0, 0, 0, 0, 1},
+			Addr2:  dot11.MACAddr{2, 0, 0, 0, 0, 2},
+			Addr3:  dot11.MACAddr{2, 0, 0, 0, 0, 1},
+			SeqNum: uint16(i),
+		}
+		w, err := f.Marshal()
+		if err != nil {
+			return err
+		}
+		mpdus = append(mpdus, w)
+	}
+	agg, err := dot11.Aggregate(mpdus)
+	if err != nil {
+		return err
+	}
+	psdu, err := agg.Marshal()
+	if err != nil {
+		return err
+	}
+	bounds, err := agg.SubframeBounds()
+	if err != nil {
+		return err
+	}
+
+	// Tag flips its phase during subframe 3's symbols only.
+	const target = 3
+	first := cfg.SymbolOfPSDUByte(bounds[target][0]) + 1
+	last := cfg.SymbolOfPSDUByte(bounds[target][1]-1) - 1
+	tagDelta := func(sc int) complex128 {
+		return complex(0.5, 0) * cmplx.Exp(complex(0, 0.45*float64(sc)))
+	}
+	h := func(sym, sc int) complex128 {
+		g := 1 + tagDelta(sc)
+		if d := sym - cfg.LTFRepeats; d >= first && d <= last {
+			g = 1 - tagDelta(sc) // 180° flip mid-aggregate
+		}
+		return g
+	}
+
+	wf, err := phy.Transmit(psdu, cfg)
+	if err != nil {
+		return err
+	}
+	rx := phy.ApplyChannel(wf, h, 1/phy.SNRFromDb(25), stats.NewRNG(3))
+	csi, err := phy.EstimateCSI(rx.LTF)
+	if err != nil {
+		return err
+	}
+	res, err := phy.Receive(rx, csi, false)
+	if err != nil {
+		return err
+	}
+
+	subs, err := dot11.Deaggregate(res.PSDU)
+	if err != nil {
+		return err
+	}
+	for _, s := range subs {
+		f, err := dot11.UnmarshalQoSData(s.MPDU)
+		status := "FCS OK  (block-ACK bit = 1)"
+		seq := "?"
+		if err != nil {
+			status = "FCS BAD (block-ACK bit = 0)  <- tag was reflecting at 180°"
+		} else {
+			seq = fmt.Sprint(f.SeqNum)
+		}
+		fmt.Printf("  subframe seq=%-2s %s\n", seq, status)
+	}
+	fmt.Println("\nThe preamble CSI is stale for the flipped window: Viterbi and the")
+	fmt.Println("FCS collapse for that subframe alone, and the AP reports it — as a")
+	fmt.Println("completely standard block ACK bit — without ever knowing why.")
+	return nil
+}

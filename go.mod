@@ -1,0 +1,3 @@
+module witag
+
+go 1.22

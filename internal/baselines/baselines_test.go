@@ -1,0 +1,209 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"witag/internal/stats"
+)
+
+func TestModelsOnlyWiTAGIsDeployable(t *testing.T) {
+	deployable := []string{}
+	for _, m := range Models() {
+		if m.DeployableOnExistingNetwork() && m.Name != "RFID (EPC Gen2)" {
+			deployable = append(deployable, m.Name)
+		}
+	}
+	if len(deployable) != 1 || deployable[0] != "WiTAG" {
+		t.Fatalf("deployable-on-existing-network = %v, want [WiTAG]", deployable)
+	}
+}
+
+func TestChannelShiftersInterfere(t *testing.T) {
+	for _, m := range Models() {
+		if m.ShiftsChannel && !m.InterferesWithNeighbours() {
+			t.Fatalf("%s shifts channel without carrier sense yet reported non-interfering", m.Name)
+		}
+		if m.Name == "WiTAG" && m.InterferesWithNeighbours() {
+			t.Fatal("WiTAG must not interfere")
+		}
+	}
+}
+
+func TestWiTAGOscillatorCheapest(t *testing.T) {
+	var witagP float64
+	minOther := 1.0
+	for _, m := range Models() {
+		p, err := m.OscillatorPowerW()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if m.Name == "WiTAG" {
+			witagP = p
+		} else if p < minOther {
+			minOther = p
+		}
+	}
+	if witagP >= minOther {
+		t.Fatalf("WiTAG oscillator %v W not below all others (min %v W)", witagP, minOther)
+	}
+}
+
+func TestMatrixRendersAllSystems(t *testing.T) {
+	m := Matrix()
+	for _, name := range []string{"WiTAG", "HitchHike", "FreeRider", "MOXcatter", "Passive Wi-Fi", "BackFi"} {
+		if !strings.Contains(m, name) {
+			t.Fatalf("matrix missing %s:\n%s", name, m)
+		}
+	}
+}
+
+func TestHitchHikeRecoverTagBits(t *testing.T) {
+	rng := stats.NewRNG(1)
+	link, err := NewHitchHikeLink(2.0, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier := stats.RandomBits(rng, 200)
+	tagBits := stats.RandomBits(rng, 150)
+	got, err := link.Transmit(carrier, tagBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range tagBits {
+		if got[i] != tagBits[i] {
+			errs++
+		}
+	}
+	if errs > 3 {
+		t.Fatalf("%d/150 tag bit errors at healthy SNR", errs)
+	}
+}
+
+func TestHitchHikeFailsUnderEncryption(t *testing.T) {
+	link, _ := NewHitchHikeLink(2, 2, stats.NewRNG(2))
+	link.EncryptionEnabled = true
+	if _, err := link.Transmit(make([]byte, 10), make([]byte, 5)); err == nil {
+		t.Fatal("HitchHike should refuse encrypted networks")
+	}
+}
+
+func TestHitchHikeValidation(t *testing.T) {
+	if _, err := NewHitchHikeLink(-1, 1, nil); err == nil {
+		t.Fatal("negative SNR accepted")
+	}
+	link, _ := NewHitchHikeLink(2, 2, stats.NewRNG(3))
+	if _, err := link.Transmit(make([]byte, 5), make([]byte, 10)); err == nil {
+		t.Fatal("more tag bits than carrier symbols accepted")
+	}
+}
+
+func TestHitchHikeDegradesAtLowShiftedSNR(t *testing.T) {
+	rng := stats.NewRNG(4)
+	carrier := stats.RandomBits(rng, 400)
+	tagBits := stats.RandomBits(rng, 300)
+	good, _ := NewHitchHikeLink(2.0, 1.0, stats.NewRNG(5))
+	bad, _ := NewHitchHikeLink(2.0, 0.02, stats.NewRNG(5))
+	gGood, err := good.Transmit(carrier, tagBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBad, err := bad.Transmit(carrier, tagBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eGood, eBad := 0, 0
+	for i := range tagBits {
+		if gGood[i] != tagBits[i] {
+			eGood++
+		}
+		if gBad[i] != tagBits[i] {
+			eBad++
+		}
+	}
+	if eBad <= eGood {
+		t.Fatalf("weak shifted link (%d errors) should do worse than strong (%d)", eBad, eGood)
+	}
+}
+
+func TestFreeRiderPerSymbolRate(t *testing.T) {
+	link, err := NewPhaseFlipLink(PerSymbol, 10, 100, stats.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.BitsPerPacket() != 100 {
+		t.Fatalf("FreeRider bits/packet = %d", link.BitsPerPacket())
+	}
+	if link.AirtimeEfficiency() != 1.0 {
+		t.Fatalf("FreeRider efficiency = %v", link.AirtimeEfficiency())
+	}
+	bits := stats.RandomBits(stats.NewRNG(7), 500)
+	got, err := link.Transmit(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs > 5 {
+		t.Fatalf("%d/500 errors at 10 dB-linear SNR", errs)
+	}
+}
+
+func TestMOXcatterPerPacketRate(t *testing.T) {
+	link, _ := NewPhaseFlipLink(PerPacket, 10, 100, stats.NewRNG(8))
+	if link.BitsPerPacket() != 1 {
+		t.Fatalf("MOXcatter bits/packet = %d", link.BitsPerPacket())
+	}
+	if link.AirtimeEfficiency() != 0.01 {
+		t.Fatalf("MOXcatter efficiency = %v", link.AirtimeEfficiency())
+	}
+	// 100x airtime cost for the same bits — the paper's §2 point.
+	fr, _ := NewPhaseFlipLink(PerSymbol, 10, 100, nil)
+	if link.AirtimeEfficiency() >= fr.AirtimeEfficiency() {
+		t.Fatal("per-packet signalling cannot beat per-symbol airtime efficiency")
+	}
+}
+
+func TestPhaseFlipFailsUnderEncryption(t *testing.T) {
+	link, _ := NewPhaseFlipLink(PerSymbol, 10, 10, stats.NewRNG(9))
+	link.EncryptionEnabled = true
+	if _, err := link.Transmit(make([]byte, 4)); err == nil {
+		t.Fatal("phase-flip backscatter should refuse encrypted networks")
+	}
+}
+
+func TestPhaseFlipValidation(t *testing.T) {
+	if _, err := NewPhaseFlipLink(PerSymbol, -1, 10, nil); err == nil {
+		t.Fatal("negative SNR accepted")
+	}
+	if _, err := NewPhaseFlipLink(PerSymbol, 1, 0, nil); err == nil {
+		t.Fatal("zero-symbol packets accepted")
+	}
+}
+
+func TestMOXcatterIntegrationGain(t *testing.T) {
+	// At an SNR where per-symbol detection is unreliable, per-packet
+	// integration still decodes: the 1/N rate buys √N robustness.
+	bits := stats.RandomBits(stats.NewRNG(10), 200)
+	weakSymbol, _ := NewPhaseFlipLink(PerSymbol, 0.15, 64, stats.NewRNG(11))
+	weakPacket, _ := NewPhaseFlipLink(PerPacket, 0.15, 64, stats.NewRNG(11))
+	gs, _ := weakSymbol.Transmit(bits)
+	gp, _ := weakPacket.Transmit(bits)
+	es, ep := 0, 0
+	for i := range bits {
+		if gs[i] != bits[i] {
+			es++
+		}
+		if gp[i] != bits[i] {
+			ep++
+		}
+	}
+	if ep >= es {
+		t.Fatalf("packet integration (%d errors) should beat per-symbol (%d) at low SNR", ep, es)
+	}
+}

@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"witag/internal/phy"
+)
+
+// Functional HitchHike model (Zhang et al., SenSys'16): a WiFi device
+// transmits an 802.11b (DSSS/DBPSK) packet; the tag "codeword-translates"
+// it by flipping the phase of entire Barker symbols — turning one valid
+// codeword into another — while shifting the reflection to an adjacent
+// channel. A *second* AP captures the shifted copy; a host XORs the
+// original and backscattered bit streams to recover the tag's data.
+//
+// The model exercises phy's DSSS chain and reproduces HitchHike's
+// structural requirements: the extra AP, the clean original capture, and
+// the failure under encryption (flipping ciphertext symbols desynchronises
+// WEP/CCMP decryption, so protected networks drop the translated packet).
+
+// HitchHikeLink is one original-plus-shifted channel pair.
+type HitchHikeLink struct {
+	// ChipSNROriginal is the per-chip SNR at AP1 (original channel).
+	ChipSNROriginal float64
+	// ChipSNRShifted is the per-chip SNR at AP2 (shifted channel): the
+	// backscatter hop is much weaker.
+	ChipSNRShifted float64
+	// EncryptionEnabled marks the carrier network as WEP/WPA protected.
+	EncryptionEnabled bool
+
+	rng *rand.Rand
+}
+
+// NewHitchHikeLink builds a link with the given SNRs.
+func NewHitchHikeLink(snrOriginal, snrShifted float64, rng *rand.Rand) (*HitchHikeLink, error) {
+	if snrOriginal < 0 || snrShifted < 0 {
+		return nil, fmt.Errorf("baselines: negative SNR")
+	}
+	return &HitchHikeLink{ChipSNROriginal: snrOriginal, ChipSNRShifted: snrShifted, rng: rng}, nil
+}
+
+// Transmit carries tagBits over one 802.11b packet of carrierBits. It
+// returns the tag bits recovered by the host, or an error when the network
+// configuration makes HitchHike inoperable (the paper's compatibility
+// argument).
+func (l *HitchHikeLink) Transmit(carrierBits, tagBits []byte) ([]byte, error) {
+	if l.EncryptionEnabled {
+		return nil, fmt.Errorf("baselines: HitchHike cannot operate on encrypted networks — translated ciphertext fails decryption")
+	}
+	if len(tagBits) > len(carrierBits) {
+		return nil, fmt.Errorf("baselines: %d tag bits exceed %d carrier symbols", len(tagBits), len(carrierBits))
+	}
+	// Original packet to AP1.
+	chips := phy.DSSSSpread(carrierBits)
+	rxOriginal := phy.DSSSChannel(chips, 1.0, noiseStdFor(l.ChipSNROriginal), l.rng)
+	origBits, err := phy.DSSSDespread(rxOriginal)
+	if err != nil {
+		return nil, err
+	}
+	// Tag translation: flip the phase of symbol i+1 when tagBit i is 1
+	// (symbol 0 is the DBPSK reference). A flipped symbol inverts the
+	// differential decision of bit i and bit i+1; XORing original and
+	// translated streams therefore exposes the tag's bits.
+	translated := append([]float64(nil), chips...)
+	for i, tb := range tagBits {
+		if tb&1 == 1 {
+			for c := 0; c < 11; c++ {
+				translated[(i+1)*11+c] = -translated[(i+1)*11+c]
+			}
+		}
+	}
+	rxShifted := phy.DSSSChannel(translated, 1.0, noiseStdFor(l.ChipSNRShifted), l.rng)
+	shiftBits, err := phy.DSSSDespread(rxShifted)
+	if err != nil {
+		return nil, err
+	}
+	// Host-side recovery: XORing the two differential streams yields
+	// x_i = tag_i ⊕ tag_{i-1}, so the tag bits unwind cumulatively.
+	out := make([]byte, len(tagBits))
+	prev := byte(0)
+	for i := range tagBits {
+		x := (origBits[i] ^ shiftBits[i]) & 1
+		out[i] = x ^ prev
+		prev = out[i]
+	}
+	return out, nil
+}
+
+// noiseStdFor converts a per-chip SNR (with unit signal power) into the
+// noise standard deviation for phy.DSSSChannel.
+func noiseStdFor(chipSNR float64) float64 {
+	if chipSNR <= 0 {
+		return 10 // essentially no signal
+	}
+	return 1 / math.Sqrt(chipSNR)
+}

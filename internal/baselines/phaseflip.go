@@ -1,0 +1,114 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"witag/internal/stats"
+)
+
+// Functional FreeRider / MOXcatter models. Both embed tag data by rotating
+// the phase of the reflected OFDM signal on a shifted channel:
+//
+//   - FreeRider (802.11g, SISO): one tag bit per OFDM *symbol* — 0° keeps
+//     the symbol, 180° maps it to another valid codeword.
+//   - MOXcatter (802.11n, MIMO): spatial streams make per-symbol rotation
+//     ambiguous at the helper receiver, so the tag flips the phase once
+//     per *packet* — one tag bit per packet, which is why its reported
+//     rate drops to the low Kbps.
+//
+// Both require a helper receiver on the shifted channel and a modified AP,
+// and neither survives encryption (the reflected symbols no longer match
+// the ciphertext stream the AP expects).
+
+// PhaseFlipGranularity distinguishes the two designs.
+type PhaseFlipGranularity int
+
+const (
+	PerSymbol PhaseFlipGranularity = iota // FreeRider
+	PerPacket                             // MOXcatter
+)
+
+// PhaseFlipLink models the tag→helper-receiver channel.
+type PhaseFlipLink struct {
+	Granularity PhaseFlipGranularity
+	// SymbolSNR is the per-OFDM-symbol SNR at the helper receiver.
+	SymbolSNR float64
+	// SymbolsPerPacket sets the carrier's packet length.
+	SymbolsPerPacket int
+	// EncryptionEnabled marks the carrier network as protected.
+	EncryptionEnabled bool
+
+	rng *rand.Rand
+}
+
+// NewPhaseFlipLink validates and builds a link.
+func NewPhaseFlipLink(g PhaseFlipGranularity, symbolSNR float64, symbolsPerPacket int, rng *rand.Rand) (*PhaseFlipLink, error) {
+	if symbolSNR < 0 {
+		return nil, fmt.Errorf("baselines: negative SNR")
+	}
+	if symbolsPerPacket < 1 {
+		return nil, fmt.Errorf("baselines: packets need ≥1 symbol")
+	}
+	return &PhaseFlipLink{Granularity: g, SymbolSNR: symbolSNR, SymbolsPerPacket: symbolsPerPacket, rng: rng}, nil
+}
+
+// BitsPerPacket returns the tag bits one carrier packet conveys.
+func (l *PhaseFlipLink) BitsPerPacket() int {
+	if l.Granularity == PerPacket {
+		return 1
+	}
+	return l.SymbolsPerPacket
+}
+
+// Transmit sends tag bits across ⌈len/BitsPerPacket⌉ carrier packets and
+// returns the bits the helper receiver demodulates.
+func (l *PhaseFlipLink) Transmit(tagBits []byte) ([]byte, error) {
+	if l.EncryptionEnabled {
+		return nil, fmt.Errorf("baselines: phase-flip backscatter cannot operate on encrypted networks")
+	}
+	out := make([]byte, 0, len(tagBits))
+	noiseVar := 0.0
+	if l.SymbolSNR > 0 {
+		noiseVar = 1 / l.SymbolSNR
+	}
+	for _, b := range tagBits {
+		// BPSK detection of the phase rotation against the reference
+		// (original-channel) signal: amplitude 1, rotated by 0 or π.
+		tx := 1.0
+		if b&1 == 1 {
+			tx = -1
+		}
+		// MOXcatter integrates the decision over the whole packet, which
+		// buys it √N in noise at 1/N the rate.
+		n := 1
+		if l.Granularity == PerPacket {
+			n = l.SymbolsPerPacket
+		}
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			acc += tx + stats.Gaussian(l.rng, 0, sqrtVar(noiseVar))
+		}
+		if acc >= 0 {
+			out = append(out, 0)
+		} else {
+			out = append(out, 1)
+		}
+	}
+	return out, nil
+}
+
+func sqrtVar(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// AirtimeEfficiency compares tag bits per carrier symbol: the quantity
+// that separates FreeRider-class (1 bit/symbol) from MOXcatter-class
+// (1 bit/packet) systems and explains the paper's throughput table.
+func (l *PhaseFlipLink) AirtimeEfficiency() float64 {
+	return float64(l.BitsPerPacket()) / float64(l.SymbolsPerPacket)
+}

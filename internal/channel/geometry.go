@@ -1,0 +1,94 @@
+// Package channel models the indoor wireless channel WiTAG operates in, as
+// a frequency-domain equivalent baseband: every transmitter–receiver pair
+// sees a per-subcarrier complex gain assembled from a direct path, static
+// environment reflectors, moving scatterers ("students walking around",
+// §6.2 of the paper), wall penetration losses, and — when a tag is present
+// — the backscatter path whose power follows the radar-equation
+// 1/(Ds²·Dr²) law the paper uses to explain Figure 5's mid-span BER bump.
+//
+// Geometry is 2-D (the paper's floor plan, Figure 4). Distances are
+// metres, powers dBm, frequencies Hz.
+package channel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D position in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// String renders the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Wall is a line segment that attenuates any path crossing it — drywall,
+// concrete, metal cabinets from the paper's NLoS scenarios.
+type Wall struct {
+	A, B          Point
+	AttenuationDb float64
+	Material      string
+}
+
+// segmentsIntersect reports whether segments pq and ab properly intersect
+// (shared endpoints count as crossing; collinear overlap counts too).
+func segmentsIntersect(p, q, a, b Point) bool {
+	d1 := cross(a, b, p)
+	d2 := cross(a, b, q)
+	d3 := cross(p, q, a)
+	d4 := cross(p, q, b)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	if d1 == 0 && onSegment(a, b, p) {
+		return true
+	}
+	if d2 == 0 && onSegment(a, b, q) {
+		return true
+	}
+	if d3 == 0 && onSegment(p, q, a) {
+		return true
+	}
+	if d4 == 0 && onSegment(p, q, b) {
+		return true
+	}
+	return false
+}
+
+func cross(o, a, b Point) float64 {
+	return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+}
+
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}
+
+// Crosses reports whether the straight path from p to q passes through the
+// wall.
+func (w Wall) Crosses(p, q Point) bool {
+	return segmentsIntersect(p, q, w.A, w.B)
+}
+
+// PathAttenuationDb sums the penetration loss of every wall the straight
+// p→q path crosses.
+func PathAttenuationDb(walls []Wall, p, q Point) float64 {
+	total := 0.0
+	for _, w := range walls {
+		if w.Crosses(p, q) {
+			total += w.AttenuationDb
+		}
+	}
+	return total
+}

@@ -1,0 +1,167 @@
+// Package core implements WiTAG — the paper's contribution. A querier
+// builds special A-MPDUs whose subframes exist only to be selectively
+// corrupted; the tag flips its reflection phase during "0" subframes; the
+// AP's compressed block ACK, read by any unmodified client, *is* the tag's
+// bitstream.
+//
+// Beyond the paper's prototype, the package implements the error
+// detection/correction layer §4.1 defers to future work (CRC-16 framing
+// with SECDED FEC and interleaving) and multi-tag addressing via distinct
+// trigger patterns.
+package core
+
+import (
+	"fmt"
+
+	"witag/internal/bitio"
+)
+
+// Tag-data frame format (all lengths in tag bits, i.e. subframes):
+//
+//	SYNC (8 bits, 0xD5) ‖ LEN (8 bits) ‖ payload ‖ CRC-16
+//
+// optionally passed through SECDED(8,4) FEC and a block interleaver. The
+// interleaver matters because tag-bit errors are bursty: a missed trigger
+// or a fade corrupts consecutive subframes, and SECDED corrects only one
+// error per 8-bit codeword.
+
+// SyncByte opens every tag-data frame.
+const SyncByte = 0xD5
+
+// MaxPayload is the largest payload a frame can carry (LEN is one byte).
+const MaxPayload = 255
+
+// Codec bundles the framing options.
+type Codec struct {
+	// FEC enables SECDED(8,4) encoding.
+	FEC bool
+	// InterleaveDepth spreads the (possibly FEC-coded) bitstream over
+	// this many rows; 0 or 1 disables interleaving.
+	InterleaveDepth int
+}
+
+// Encode frames payload into the tag bit sequence to transmit.
+func (c Codec) Encode(payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("core: payload %d bytes exceeds %d", len(payload), MaxPayload)
+	}
+	frame := make([]byte, 0, len(payload)+4)
+	frame = append(frame, SyncByte, byte(len(payload)))
+	frame = append(frame, payload...)
+	crc := bitio.CRC16(frame)
+	frame = append(frame, byte(crc>>8), byte(crc))
+
+	var bits []byte
+	if c.FEC {
+		bits = bitio.HammingEncode(frame)
+	} else {
+		bits = bitio.BytesToBits(frame)
+	}
+	return c.interleave(bits)
+}
+
+// Decode recovers the payload from received tag bits. It reports the
+// number of FEC-corrected bit errors.
+func (c Codec) Decode(bits []byte) (payload []byte, corrected int, err error) {
+	deint, err := c.deinterleave(bits)
+	if err != nil {
+		return nil, 0, err
+	}
+	var frame []byte
+	if c.FEC {
+		// Interleaver padding may leave a partial codeword of zeros at
+		// the tail; drop it before FEC decoding.
+		deint = deint[:len(deint)/16*16]
+		frame, corrected, err = bitio.HammingDecode(deint)
+		if err != nil {
+			return nil, corrected, fmt.Errorf("core: FEC: %w", err)
+		}
+	} else {
+		frame = bitio.BitsToBytes(deint[:len(deint)/8*8])
+	}
+	if len(frame) < 4 {
+		return nil, corrected, fmt.Errorf("core: frame too short: %d bytes", len(frame))
+	}
+	if frame[0] != SyncByte {
+		return nil, corrected, fmt.Errorf("core: bad sync byte 0x%02x", frame[0])
+	}
+	n := int(frame[1])
+	if len(frame) < n+4 {
+		return nil, corrected, fmt.Errorf("core: LEN says %d payload bytes but frame has only %d", n, len(frame)-4)
+	}
+	frame = frame[:n+4] // strip interleaver padding bytes
+	wantCRC := uint16(frame[n+2])<<8 | uint16(frame[n+3])
+	if bitio.CRC16(frame[:n+2]) != wantCRC {
+		return nil, corrected, ErrFrameCRC
+	}
+	return append([]byte(nil), frame[2:n+2]...), corrected, nil
+}
+
+// ErrFrameCRC reports a tag-data frame whose CRC-16 failed — residual
+// errors the FEC could not repair.
+var ErrFrameCRC = fmt.Errorf("core: tag frame CRC mismatch")
+
+// EncodedBits returns the number of tag bits (subframes) Encode will emit
+// for a payload of n bytes.
+func (c Codec) EncodedBits(n int) int {
+	frameBytes := n + 4
+	if c.FEC {
+		return frameBytes * 16
+	}
+	return frameBytes * 8
+}
+
+// interleave writes bits row-wise into a depth×⌈n/depth⌉ matrix and reads
+// column-wise, padding with zeros; deinterleave inverts it. Padding is
+// deterministic so Decode can strip it by length arithmetic.
+func (c Codec) interleave(bits []byte) ([]byte, error) {
+	d := c.InterleaveDepth
+	if d <= 1 {
+		return bits, nil
+	}
+	cols := (len(bits) + d - 1) / d
+	out := make([]byte, 0, d*cols)
+	for col := 0; col < cols; col++ {
+		for row := 0; row < d; row++ {
+			idx := row*cols + col
+			if idx < len(bits) {
+				out = append(out, bits[idx])
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (c Codec) deinterleave(bits []byte) ([]byte, error) {
+	d := c.InterleaveDepth
+	if d <= 1 {
+		return bits, nil
+	}
+	if len(bits)%d != 0 {
+		return nil, fmt.Errorf("core: interleaved length %d not a multiple of depth %d", len(bits), d)
+	}
+	cols := len(bits) / d
+	out := make([]byte, len(bits))
+	i := 0
+	for col := 0; col < cols; col++ {
+		for row := 0; row < d; row++ {
+			out[row*cols+col] = bits[i]
+			i++
+		}
+	}
+	return out, nil
+}
+
+// PaddedBits returns how many bits Encode emits after interleaver padding
+// for an n-byte payload — what the querier must size its aggregates for.
+func (c Codec) PaddedBits(n int) int {
+	raw := c.EncodedBits(n)
+	if c.InterleaveDepth <= 1 {
+		return raw
+	}
+	d := c.InterleaveDepth
+	cols := (raw + d - 1) / d
+	return d * cols
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"witag/internal/dot11"
+	"witag/internal/mac"
+)
+
+// Query construction (§4, §7 "Query Packet Detection"). A query A-MPDU is
+// TriggerLen trigger subframes followed by data subframes. Trigger
+// payloads alternate between two known byte patterns chosen to produce
+// distinct envelope amplitudes at the tag; data subframes carry dummy
+// payloads.
+//
+// Query shaping: the tag times subframes by counting 50 kHz clock ticks,
+// so the querier sizes every subframe's airtime to K whole ticks. A single
+// MPDU size that lands exactly on the tick grid rarely exists (airtime
+// moves in 4-on-air-byte quanta), so the builder *dithers* per-subframe
+// sizes to keep each cumulative subframe boundary within 2 on-air bytes of
+// the tick grid — bounded error the tag's guard interval absorbs.
+
+// TriggerHighByte and TriggerLowByte fill trigger payloads. The envelope
+// model maps the density of 1-bits to RF envelope amplitude.
+const (
+	TriggerHighByte = 0xFF
+	TriggerLowByte  = 0x00
+)
+
+// QuerySpec parameterises a query aggregate.
+type QuerySpec struct {
+	TriggerLen int // trigger subframes (≥2 for an alternating pattern)
+	DataLen    int // data subframes = tag bits per query
+	// PayloadSizes holds the per-subframe dummy payload sizes produced by
+	// ShapeForTick (length TriggerLen+DataLen). A nil slice means
+	// unshaped minimal subframes (QoS null + 1-byte fill).
+	PayloadSizes []int
+	// TicksPerSubframe records the shaping target (0 when unshaped).
+	TicksPerSubframe int
+	MCS              dot11.MCS
+	Width            dot11.ChannelWidth
+	GI               dot11.GuardInterval
+}
+
+// Total returns the subframe count.
+func (q QuerySpec) Total() int { return q.TriggerLen + q.DataLen }
+
+// Validate checks the spec against A-MPDU limits.
+func (q QuerySpec) Validate() error {
+	if q.TriggerLen < 2 {
+		return fmt.Errorf("core: need ≥2 trigger subframes for an alternating pattern, got %d", q.TriggerLen)
+	}
+	if q.DataLen < 1 {
+		return fmt.Errorf("core: need ≥1 data subframe, got %d", q.DataLen)
+	}
+	if q.Total() > dot11.MaxSubframes {
+		return fmt.Errorf("core: %d subframes exceed the %d-subframe A-MPDU limit", q.Total(), dot11.MaxSubframes)
+	}
+	if q.PayloadSizes != nil && len(q.PayloadSizes) != q.Total() {
+		return fmt.Errorf("core: %d payload sizes for %d subframes", len(q.PayloadSizes), q.Total())
+	}
+	return nil
+}
+
+// payloadAt returns the dummy payload size of subframe i.
+func (q QuerySpec) payloadAt(i int) int {
+	if q.PayloadSizes == nil {
+		return 1
+	}
+	return q.PayloadSizes[i]
+}
+
+// onAirBytesAt returns the on-air bytes subframe i occupies: delimiter +
+// MAC header + payload (+cipher overhead) + FCS, rounded up to the 4-byte
+// A-MPDU grid.
+func (q QuerySpec) onAirBytesAt(i, cipherOverhead int) int {
+	n := dot11.DelimiterLen + dot11.QoSHeaderLen + q.payloadAt(i) + cipherOverhead + 4
+	for n%4 != 0 {
+		n++
+	}
+	return n
+}
+
+// minOnAirBytes is the smallest shapeable subframe (1-byte payload).
+func minOnAirBytes(cipherOverhead int) int {
+	n := dot11.DelimiterLen + dot11.QoSHeaderLen + 1 + cipherOverhead + 4
+	for n%4 != 0 {
+		n++
+	}
+	return n
+}
+
+// SubframeAirtimes returns every subframe's on-air duration.
+func (q QuerySpec) SubframeAirtimes(cipherOverhead int) ([]time.Duration, error) {
+	out := make([]time.Duration, q.Total())
+	for i := range out {
+		d, err := dot11.SubframeAirtime(q.onAirBytesAt(i, cipherOverhead), q.MCS, q.Width, q.GI)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// ShapeForTick fills PayloadSizes so each subframe lasts ticks·tick of
+// airtime, dithering sizes so cumulative boundary error never exceeds two
+// on-air bytes. It fails when the target is shorter than the smallest
+// possible subframe.
+func (q *QuerySpec) ShapeForTick(tick time.Duration, ticks, cipherOverhead int) error {
+	q.PayloadSizes = nil // re-shaping replaces any previous sizing
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if tick <= 0 || ticks < 1 {
+		return fmt.Errorf("core: invalid shaping target %d × %v", ticks, tick)
+	}
+	ndbps := q.MCS.DataBitsPerSymbol(q.Width)
+	if ndbps <= 0 {
+		return fmt.Errorf("core: MCS %v unusable at %d MHz", q.MCS, q.Width)
+	}
+	bytesPerSec := float64(ndbps) / 8 / q.GI.SymbolDuration().Seconds()
+	targetBytes := float64(ticks) * tick.Seconds() * bytesPerSec
+	min := minOnAirBytes(cipherOverhead)
+	if targetBytes < float64(min)-2 {
+		return fmt.Errorf("core: %d-tick subframe (%.1f on-air bytes) below the %d-byte minimum at %v — raise ticks or lower the MCS",
+			ticks, targetBytes, min, q.MCS)
+	}
+	sizes := make([]int, q.Total())
+	cum := 0.0
+	for i := range sizes {
+		want := float64(i+1)*targetBytes - cum
+		n := int(math.Round(want/4)) * 4
+		if n < min {
+			n = min
+		}
+		sizes[i] = n - dot11.DelimiterLen - dot11.QoSHeaderLen - cipherOverhead - 4
+		cum += float64(n)
+	}
+	q.PayloadSizes = sizes
+	q.TicksPerSubframe = ticks
+	return nil
+}
+
+// BoundaryErrors returns, for diagnostics and tests, the deviation of each
+// cumulative subframe boundary from the ideal tick grid, in seconds.
+func (q QuerySpec) BoundaryErrors(tick time.Duration, cipherOverhead int) ([]float64, error) {
+	if q.TicksPerSubframe < 1 {
+		return nil, fmt.Errorf("core: spec is not shaped")
+	}
+	airs, err := q.SubframeAirtimes(cipherOverhead)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(airs))
+	cum := 0.0
+	for i, a := range airs {
+		cum += a.Seconds()
+		ideal := float64(i+1) * float64(q.TicksPerSubframe) * tick.Seconds()
+		out[i] = cum - ideal
+	}
+	return out, nil
+}
+
+// BuildQuery constructs the query A-MPDU via the scheduler. The returned
+// aggregate has Total() subframes; the caller transmits it and reads tag
+// bits from BA bitmap positions [TriggerLen, Total()).
+func (q QuerySpec) BuildQuery(s *mac.AMPDUScheduler) (*dot11.AMPDU, uint16, error) {
+	if err := q.Validate(); err != nil {
+		return nil, 0, err
+	}
+	payloads := make([][]byte, 0, q.Total())
+	for i := 0; i < q.Total(); i++ {
+		fill := byte(TriggerHighByte)
+		if i < q.TriggerLen && i%2 == 1 {
+			fill = TriggerLowByte
+		}
+		size := q.payloadAt(i)
+		if size < 1 {
+			size = 1
+		}
+		p := make([]byte, size)
+		for j := range p {
+			p[j] = fill
+		}
+		payloads = append(payloads, p)
+	}
+	return s.BuildAMPDU(payloads)
+}
+
+// EnvelopeAmplitudeFor maps a payload fill byte to a relative RF envelope
+// amplitude at the tag: the fraction of 1-bits sets OFDM subcarrier
+// loading in this model (1.0 for all-ones, 0.15 for all-zero payloads,
+// whose subframes are mostly header energy).
+func EnvelopeAmplitudeFor(fill byte) float64 {
+	ones := 0
+	for i := 0; i < 8; i++ {
+		ones += int(fill >> uint(i) & 1)
+	}
+	return 0.15 + 0.85*float64(ones)/8
+}

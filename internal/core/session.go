@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"witag/internal/channel"
+	"witag/internal/crypto80211"
+	"witag/internal/dot11"
+	"witag/internal/mac"
+	"witag/internal/phy"
+	"witag/internal/stats"
+	"witag/internal/tag"
+)
+
+// System wires the whole WiTAG deployment together: a client (querier), an
+// unmodified AP, a tag somewhere between them, and the propagation
+// environment. QueryRound runs one complete §4 exchange at the analytic
+// PHY level; the bit-true path lives in the phy package's tests and the
+// quickstart example.
+type System struct {
+	Env       *channel.Environment
+	ClientPos channel.Point
+	APPos     channel.Point
+	Tag       *tag.Tag
+	TagPos    channel.Point
+
+	Spec       QuerySpec
+	Scheduler  *mac.AMPDUScheduler
+	Contender  *mac.Contender
+	Cipher     crypto80211.Cipher // nil for an open network
+	TempC      float64
+	BARateMbps float64
+	// BusyProb is the per-slot probability other traffic occupies the
+	// channel during backoff.
+	BusyProb float64
+	// DetectorNoiseFigure scales the envelope detector's equivalent
+	// amplitude noise above the thermal floor (diode detectors are noisy).
+	DetectorNoiseFigure float64
+	// AmbientLossProb is the per-subframe probability of loss from causes
+	// outside the model (co-channel interference, hidden terminals,
+	// microwave ovens). §4.1 notes WiFi never reaches a zero error rate;
+	// this is that floor, and it is what puts the ≈0.01 BER floor under
+	// Figure 5.
+	AmbientLossProb float64
+
+	rng *rand.Rand
+}
+
+// DefaultQuerySpec returns the paper-flavoured query: 4 trigger subframes
+// + 60 data subframes at QPSK 3/4 over 20 MHz.
+func DefaultQuerySpec() QuerySpec {
+	mcs, _ := dot11.HTMCS(2)
+	return QuerySpec{
+		TriggerLen: 4,
+		DataLen:    60,
+		MCS:        mcs,
+		Width:      dot11.Width20,
+		GI:         dot11.LongGI,
+	}
+}
+
+// NewSystem builds a ready-to-run deployment. tagGain is the tag's
+// effective reflection gain (see DESIGN.md's calibration note).
+func NewSystem(env *channel.Environment, client, ap, tagPos channel.Point, tagGain float64, seed int64) (*System, error) {
+	rng := stats.NewRNG(seed)
+	clientAddr := dot11.MACAddr{0x02, 0, 0, 0, 0, 0x10}
+	apAddr := dot11.MACAddr{0x02, 0, 0, 0, 0, 0x01}
+	sched, err := mac.NewAMPDUScheduler(clientAddr, apAddr, apAddr, 0)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Env:                 env,
+		ClientPos:           client,
+		APPos:               ap,
+		Tag:                 tag.New(tagGain, tag.NewCrystal50kHz(stats.Split(rng))),
+		TagPos:              tagPos,
+		Spec:                DefaultQuerySpec(),
+		Scheduler:           sched,
+		Contender:           mac.NewContender(stats.Split(rng)),
+		TempC:               25,
+		BARateMbps:          24,
+		DetectorNoiseFigure: 10,
+		AmbientLossProb:     0.01,
+		rng:                 rng,
+	}
+	if err := sys.Reshape(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Reshape re-runs query shaping for the current cipher and spec, using the
+// smallest per-subframe tick count that fits the MPDU overhead. Call it
+// after changing Cipher or Spec. The querier knows the tag's *nominal*
+// 50 kHz clock, not its actual temperature-dependent frequency — that
+// residual is the tag's problem, which its measured-ticks replay cancels
+// to first order. Note the physical cost of encryption: CCMP's 16-byte
+// per-MPDU expansion can push the minimum subframe past one tick, halving
+// the tag's data rate.
+func (s *System) Reshape() error {
+	tick := time.Duration(float64(time.Second) / s.Tag.Clock.NominalHz)
+	var err error
+	for ticks := 1; ticks <= 8; ticks++ {
+		if err = s.Spec.ShapeForTick(tick, ticks, s.cipherOverhead()); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func (s *System) cipherOverhead() int {
+	if s.Cipher == nil {
+		return 0
+	}
+	return s.Cipher.Overhead()
+}
+
+// RoundResult reports one query round.
+type RoundResult struct {
+	TxBits    []byte // bits the tag attempted to send
+	RxBits    []byte // bits the client read from the block ACK
+	Detected  bool   // did the tag see the trigger?
+	BitErrors int
+	Airtime   time.Duration
+	// Diagnostics
+	SNRDb        float64 // client→AP link SNR
+	DistortionDb float64 // tag-induced distortion power (10·log10 D)
+}
+
+// BER returns the round's bit error rate.
+func (r *RoundResult) BER() float64 {
+	if len(r.TxBits) == 0 {
+		return 0
+	}
+	return float64(r.BitErrors) / float64(len(r.TxBits))
+}
+
+// QueryRound runs one §4 exchange: the client transmits a query A-MPDU,
+// the tag modulates it, the AP block-ACKs, the client reads tag bits from
+// the bitmap. bits must have length ≤ Spec.DataLen; missing bits are
+// padded with 1 (tag idle).
+func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
+	if err := s.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(bits) > s.Spec.DataLen {
+		return nil, fmt.Errorf("core: %d bits exceed the query's %d data subframes", len(bits), s.Spec.DataLen)
+	}
+	txBits := make([]byte, s.Spec.DataLen)
+	for i := range txBits {
+		if i < len(bits) {
+			txBits[i] = bits[i] & 1
+		} else {
+			txBits[i] = 1
+		}
+	}
+
+	// --- Client side: build and "transmit" the query. ---
+	agg, startSeq, err := s.Spec.BuildQuery(s.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	psdu, err := agg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	airs, err := s.Spec.SubframeAirtimes(s.cipherOverhead())
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Tag side: trigger detection. The tag's run-length measurement
+	// spans all trigger subframes, so its per-subframe estimate is the
+	// trigger mean — which averages out the shaper's size dither.
+	var trigAir time.Duration
+	for _, a := range airs[:s.Spec.TriggerLen] {
+		trigAir += a
+	}
+	detected, timing, err := s.detectTrigger(trigAir / time.Duration(s.Spec.TriggerLen))
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Channel states. ---
+	restCoeff, err := s.Tag.ReflectionFor(false)
+	if err != nil {
+		return nil, err
+	}
+	flipCoeff, err := s.Tag.ReflectionFor(true)
+	if err != nil {
+		return nil, err
+	}
+	excess := s.Tag.ExcessPathM()
+	hRest, err := s.Env.Channel(s.ClientPos, s.APPos,
+		&channel.TagReflection{Pos: s.TagPos, Coeff: restCoeff, ExcessPathM: excess})
+	if err != nil {
+		return nil, err
+	}
+	hFlip, err := s.Env.Channel(s.ClientPos, s.APPos,
+		&channel.TagReflection{Pos: s.TagPos, Coeff: flipCoeff, ExcessPathM: excess})
+	if err != nil {
+		return nil, err
+	}
+	snr := channel.SNRLinear(s.Env.TxPowerDbm, channel.MeanPower(hRest), s.Env.NoiseFloorDbm)
+	distortion, err := phy.DistortionAfterCPE(hFlip, hRest)
+	if err != nil {
+		return nil, err
+	}
+	dirtySINR := phy.EffectiveSINR(snr, distortion)
+
+	// --- Per-subframe corruption coverage. ---
+	coverage := make([]float64, s.Spec.DataLen)
+	if detected {
+		coverage, err = s.Tag.CorruptionCoverageSchedule(timing, txBits, airs[s.Spec.TriggerLen:], s.TempC)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// --- AP side: per-subframe decode, scoreboard, block ACK. ---
+	sb, err := mac.NewScoreboard(startSeq)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < s.Spec.Total(); i++ {
+		f := 0.0
+		if i >= s.Spec.TriggerLen {
+			f = coverage[i-s.Spec.TriggerLen]
+		}
+		subBits := s.Spec.onAirBytesAt(i, s.cipherOverhead()) * 8
+		ok, err := s.sampleSubframeDecode(snr, dirtySINR, subBits, f)
+		if err != nil {
+			return nil, err
+		}
+		if ok && stats.Bernoulli(s.rng, s.AmbientLossProb) {
+			ok = false // lost to interference outside the model
+		}
+		if ok {
+			if err := sb.Record((startSeq + uint16(i)) & 0x0FFF); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ba := sb.BlockAck(s.Scheduler.Src, s.Scheduler.Dst, 0)
+
+	// --- Client side: read tag bits out of the bitmap. ---
+	allBits, err := ba.BitmapBits(s.Spec.TriggerLen + s.Spec.DataLen)
+	if err != nil {
+		return nil, err
+	}
+	rxBits := allBits[s.Spec.TriggerLen:]
+
+	res := &RoundResult{
+		TxBits:       txBits,
+		RxBits:       rxBits,
+		Detected:     detected,
+		SNRDb:        phy.SNRToDb(snr),
+		DistortionDb: 10 * math.Log10(math.Max(distortion, 1e-30)),
+	}
+	for i := range txBits {
+		if txBits[i] != rxBits[i] {
+			res.BitErrors++
+		}
+	}
+
+	// --- Airtime accounting. ---
+	access, err := s.Contender.AccessDelay(s.BusyProb, time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	ppdu, err := dot11.PPDUAirtime(len(psdu), s.Spec.MCS, s.Spec.Width, s.Spec.GI)
+	if err != nil {
+		return nil, err
+	}
+	baAir, err := dot11.BlockAckAirtime(s.BARateMbps)
+	if err != nil {
+		return nil, err
+	}
+	res.Airtime = access + ppdu + dot11.SIFS + baAir
+	s.Contender.Success()
+	return res, nil
+}
+
+// ProtocolGrid is the WiTAG shaping contract: every query subframe lasts a
+// whole multiple of this nominal duration (one tick of the reference
+// 50 kHz tag clock). Tags snap their run-length measurements to this grid,
+// which cancels the shaper's ±2-byte size dither regardless of how fine
+// the tag's own clock is.
+const ProtocolGrid = 20 * time.Microsecond
+
+// detectTrigger models the envelope detector seeing the trigger subframes.
+func (s *System) detectTrigger(subAir time.Duration) (bool, tag.QueryTiming, error) {
+	ticks, err := s.Tag.Clock.TicksFor(subAir, s.TempC)
+	if err != nil {
+		return false, tag.QueryTiming{}, err
+	}
+	// Grid snapping: round the measurement to the nearest whole number of
+	// protocol grid units, expressed in the tag's own (believed-nominal)
+	// ticks. For the reference 50 kHz clock the grid is exactly one tick
+	// and this is a no-op; for faster clocks it removes the dither bias.
+	gridTicks := int(ProtocolGrid.Seconds()*s.Tag.Clock.NominalHz + 0.5)
+	if gridTicks >= 1 && ticks >= gridTicks/2 {
+		units := (ticks + gridTicks/2) / gridTicks
+		if units < 1 {
+			units = 1
+		}
+		ticks = units * gridTicks
+	}
+	if ticks < 1 {
+		// Subframes shorter than a clock tick are undetectable and
+		// untimeable: the tag never responds.
+		return false, tag.QueryTiming{}, nil
+	}
+	// Envelope amplitudes at the tag, in √W.
+	aPath, err := channel.FriisAmplitude(s.ClientPos.Dist(s.TagPos), s.Env.FreqHz, s.Env.PathLossExp)
+	if err != nil {
+		return false, tag.QueryTiming{}, err
+	}
+	aPath *= channel.DbToAmplitude(-channel.PathAttenuationDb(s.Env.Walls, s.ClientPos, s.TagPos))
+	sqrtPtx := math.Sqrt(channel.DbmToWatts(s.Env.TxPowerDbm))
+	hi := sqrtPtx * aPath * EnvelopeAmplitudeFor(TriggerHighByte)
+	lo := sqrtPtx * aPath * EnvelopeAmplitudeFor(TriggerLowByte)
+	thr := (hi + lo) / 2 // self-biased comparator
+	noiseStd := math.Sqrt(channel.DbmToWatts(s.Env.NoiseFloorDbm)) * s.DetectorNoiseFigure
+	p, err := tag.DetectionProbability(hi, lo, thr, noiseStd, ticks, s.Spec.TriggerLen)
+	if err != nil {
+		return false, tag.QueryTiming{}, err
+	}
+	detected := stats.Bernoulli(s.rng, p)
+	return detected, tag.QueryTiming{
+		DataStartTick: ticks * s.Spec.TriggerLen,
+		SubframeTicks: ticks,
+	}, nil
+}
+
+// sampleSubframeDecode draws whether a subframe survives, splitting its
+// bits between clean-channel and corrupted-channel segments.
+func (s *System) sampleSubframeDecode(cleanSINR, dirtySINR float64, subBits int, coverage float64) (bool, error) {
+	if coverage < 0 {
+		coverage = 0
+	}
+	if coverage > 1 {
+		coverage = 1
+	}
+	p := 1.0
+	cleanBits := int(math.Round(float64(subBits) * (1 - coverage)))
+	dirtyBits := subBits - cleanBits
+	if cleanBits > 0 {
+		pc, err := phy.SubframeSuccessProb(s.Spec.MCS, cleanSINR, cleanBits)
+		if err != nil {
+			return false, err
+		}
+		p *= pc
+	}
+	if dirtyBits > 0 {
+		pd, err := phy.SubframeSuccessProb(s.Spec.MCS, dirtySINR, dirtyBits)
+		if err != nil {
+			return false, err
+		}
+		p *= pd
+	}
+	return stats.Bernoulli(s.rng, p), nil
+}
+
+// TagRateBps returns the steady-state tag data rate this system achieves:
+// data bits per query divided by round airtime (excluding bit errors).
+func (s *System) TagRateBps() (float64, error) {
+	agg, _, err := s.Spec.BuildQuery(s.Scheduler)
+	if err != nil {
+		return 0, err
+	}
+	psdu, err := agg.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	ex, err := dot11.QueryRoundAirtime(len(psdu), s.Spec.MCS, s.Spec.Width, s.Spec.GI, s.BARateMbps)
+	if err != nil {
+		return 0, err
+	}
+	return float64(s.Spec.DataLen) / ex.Total().Seconds(), nil
+}

@@ -1,0 +1,210 @@
+package crypto80211
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+)
+
+// CCMP (IEEE 802.11-2012 §11.4.3): AES-128 in CCM mode with an 8-byte MIC
+// (M=8) and 2-byte length field (L=2). The standard library has no CCM
+// mode, so ccm.go builds it from CTR and CBC-MAC over crypto/aes.
+
+const (
+	ccmpHdrLen = 8
+	ccmpMICLen = 8
+	ccmpKeyLen = 16
+)
+
+// CCMP implements WPA2 per-MPDU encryption. Each instance models one
+// pairwise temporal key with its packet-number counter.
+type CCMP struct {
+	block cipher.Block
+	// A2 is the transmitter address folded into the CCM nonce, binding
+	// ciphertexts to their sender as the standard requires.
+	a2       [6]byte
+	priority byte
+	pn       uint64
+}
+
+// NewCCMP creates a CCMP cipher from a 16-byte temporal key, the
+// transmitter MAC address, and the QoS priority (TID).
+func NewCCMP(tk []byte, a2 [6]byte, priority byte) (*CCMP, error) {
+	if len(tk) != ccmpKeyLen {
+		return nil, fmt.Errorf("crypto80211: CCMP key must be %d bytes, got %d", ccmpKeyLen, len(tk))
+	}
+	if priority > 15 {
+		return nil, fmt.Errorf("crypto80211: priority %d exceeds 4 bits", priority)
+	}
+	block, err := aes.NewCipher(tk)
+	if err != nil {
+		return nil, fmt.Errorf("crypto80211: %w", err)
+	}
+	return &CCMP{block: block, a2: a2, priority: priority, pn: 1}, nil
+}
+
+// nonce builds the 13-byte CCM nonce: flags(priority) ‖ A2 ‖ PN(6, big-endian).
+func (c *CCMP) nonce(pn uint64) [13]byte {
+	var n [13]byte
+	n[0] = c.priority
+	copy(n[1:7], c.a2[:])
+	n[7] = byte(pn >> 40)
+	n[8] = byte(pn >> 32)
+	n[9] = byte(pn >> 24)
+	n[10] = byte(pn >> 16)
+	n[11] = byte(pn >> 8)
+	n[12] = byte(pn)
+	return n
+}
+
+// header builds the 8-byte CCMP header carrying the PN and ExtIV flag.
+func ccmpHeader(pn uint64, keyID byte) [ccmpHdrLen]byte {
+	var h [ccmpHdrLen]byte
+	h[0] = byte(pn)
+	h[1] = byte(pn >> 8)
+	// h[2] reserved.
+	h[3] = 1<<5 | keyID<<6 // ExtIV set
+	h[4] = byte(pn >> 16)
+	h[5] = byte(pn >> 24)
+	h[6] = byte(pn >> 32)
+	h[7] = byte(pn >> 40)
+	return h
+}
+
+func ccmpHeaderPN(h []byte) uint64 {
+	return uint64(h[0]) | uint64(h[1])<<8 | uint64(h[4])<<16 |
+		uint64(h[5])<<24 | uint64(h[6])<<32 | uint64(h[7])<<40
+}
+
+// Encrypt seals body, producing CCMP header ‖ ciphertext ‖ MIC.
+func (c *CCMP) Encrypt(body []byte) ([]byte, error) {
+	pn := c.pn
+	c.pn++
+	nonce := c.nonce(pn)
+	ct, mic, err := ccmSeal(c.block, nonce, body)
+	if err != nil {
+		return nil, err
+	}
+	hdr := ccmpHeader(pn, 0)
+	out := make([]byte, 0, ccmpHdrLen+len(ct)+ccmpMICLen)
+	out = append(out, hdr[:]...)
+	out = append(out, ct...)
+	out = append(out, mic...)
+	return out, nil
+}
+
+// Decrypt opens a sealed body, verifying the MIC and enforcing replay
+// protection via monotonically increasing packet numbers.
+func (c *CCMP) Decrypt(sealed []byte) ([]byte, error) {
+	if len(sealed) < ccmpHdrLen+ccmpMICLen {
+		return nil, fmt.Errorf("crypto80211: CCMP frame too short: %d bytes", len(sealed))
+	}
+	if sealed[3]&0x20 == 0 {
+		return nil, fmt.Errorf("crypto80211: CCMP ExtIV flag not set")
+	}
+	pn := ccmpHeaderPN(sealed[:ccmpHdrLen])
+	nonce := c.nonce(pn)
+	ct := sealed[ccmpHdrLen : len(sealed)-ccmpMICLen]
+	mic := sealed[len(sealed)-ccmpMICLen:]
+	body, err := ccmOpen(c.block, nonce, ct, mic)
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Overhead returns CCMP's per-MPDU expansion (header + MIC).
+func (c *CCMP) Overhead() int { return ccmpHdrLen + ccmpMICLen }
+
+// Name identifies the cipher for reports.
+func (c *CCMP) Name() string { return "CCMP(AES-128)" }
+
+// --- CCM construction (RFC 3610 with M=8, L=2) ---
+
+// ccmB0 builds the first CBC-MAC block.
+func ccmB0(nonce [13]byte, msgLen int) [16]byte {
+	var b0 [16]byte
+	// Flags: (M-2)/2 = 3 in bits 3-5, L-1 = 1 in bits 0-2, no AAD.
+	b0[0] = 3<<3 | 1
+	copy(b0[1:14], nonce[:])
+	binary.BigEndian.PutUint16(b0[14:16], uint16(msgLen))
+	return b0
+}
+
+// ccmCTRBlock builds the CTR keystream block A_i.
+func ccmCTRBlock(nonce [13]byte, i uint16) [16]byte {
+	var a [16]byte
+	a[0] = 1 // L-1
+	copy(a[1:14], nonce[:])
+	binary.BigEndian.PutUint16(a[14:16], i)
+	return a
+}
+
+// cbcMAC computes the raw CCM authentication tag T over msg.
+func cbcMAC(block cipher.Block, nonce [13]byte, msg []byte) [16]byte {
+	var x [16]byte
+	b0 := ccmB0(nonce, len(msg))
+	block.Encrypt(x[:], b0[:])
+	for off := 0; off < len(msg); off += 16 {
+		var chunk [16]byte
+		copy(chunk[:], msg[off:])
+		for j := range x {
+			x[j] ^= chunk[j]
+		}
+		block.Encrypt(x[:], x[:])
+	}
+	return x
+}
+
+// ccmSeal encrypts msg and returns ciphertext and 8-byte MIC.
+func ccmSeal(block cipher.Block, nonce [13]byte, msg []byte) (ct, mic []byte, err error) {
+	if len(msg) > 0xFFFF {
+		return nil, nil, fmt.Errorf("crypto80211: CCM message too long: %d", len(msg))
+	}
+	tag := cbcMAC(block, nonce, msg)
+	// Encrypt the tag with A_0 and the message with A_1..A_n.
+	a0 := ccmCTRBlock(nonce, 0)
+	var s0 [16]byte
+	block.Encrypt(s0[:], a0[:])
+	mic = make([]byte, ccmpMICLen)
+	for i := range mic {
+		mic[i] = tag[i] ^ s0[i]
+	}
+	ct = make([]byte, len(msg))
+	for off := 0; off < len(msg); off += 16 {
+		ai := ccmCTRBlock(nonce, uint16(off/16+1))
+		var si [16]byte
+		block.Encrypt(si[:], ai[:])
+		for j := 0; j < 16 && off+j < len(msg); j++ {
+			ct[off+j] = msg[off+j] ^ si[j]
+		}
+	}
+	return ct, mic, nil
+}
+
+// ccmOpen decrypts ct and verifies mic in constant time.
+func ccmOpen(block cipher.Block, nonce [13]byte, ct, mic []byte) ([]byte, error) {
+	msg := make([]byte, len(ct))
+	for off := 0; off < len(ct); off += 16 {
+		ai := ccmCTRBlock(nonce, uint16(off/16+1))
+		var si [16]byte
+		block.Encrypt(si[:], ai[:])
+		for j := 0; j < 16 && off+j < len(ct); j++ {
+			msg[off+j] = ct[off+j] ^ si[j]
+		}
+	}
+	tag := cbcMAC(block, nonce, msg)
+	a0 := ccmCTRBlock(nonce, 0)
+	var s0 [16]byte
+	block.Encrypt(s0[:], a0[:])
+	want := make([]byte, ccmpMICLen)
+	for i := range want {
+		want[i] = tag[i] ^ s0[i]
+	}
+	if subtle.ConstantTimeCompare(want, mic) != 1 {
+		return nil, ErrIntegrity
+	}
+	return msg, nil
+}

@@ -1,0 +1,117 @@
+// Package crypto80211 implements the 802.11 link-layer ciphers WiTAG must
+// be transparent to: WEP (RC4 with a CRC-32 integrity value) and WPA2's
+// CCMP (AES in CCM mode). WiTAG never decrypts anything — the point of the
+// package is to prove, in tests and benches, that corrupting an *encrypted*
+// MPDU still reads out of the block ACK exactly like a plaintext one,
+// which is the paper's headline advantage over symbol-twiddling systems
+// like HitchHike.
+package crypto80211
+
+import (
+	"crypto/rc4"
+	"encoding/binary"
+	"fmt"
+
+	"witag/internal/bitio"
+)
+
+// WEPKeyLen40 and WEPKeyLen104 are the two standard WEP key sizes.
+const (
+	WEPKeyLen40  = 5
+	WEPKeyLen104 = 13
+	wepIVLen     = 3
+	wepICVLen    = 4
+)
+
+// WEP implements WEP-40/WEP-104 per-MPDU encryption. It is intentionally
+// faithful to the (long broken) standard, IV reuse hazards and all; the
+// simulator needs wire-accurate framing, not security.
+type WEP struct {
+	key   []byte
+	keyID byte
+	ivSeq uint32
+}
+
+// NewWEP creates a WEP cipher with the given 5- or 13-byte key and key ID
+// (0-3).
+func NewWEP(key []byte, keyID byte) (*WEP, error) {
+	if len(key) != WEPKeyLen40 && len(key) != WEPKeyLen104 {
+		return nil, fmt.Errorf("crypto80211: WEP key must be %d or %d bytes, got %d",
+			WEPKeyLen40, WEPKeyLen104, len(key))
+	}
+	if keyID > 3 {
+		return nil, fmt.Errorf("crypto80211: WEP key ID %d out of range [0,3]", keyID)
+	}
+	return &WEP{key: append([]byte(nil), key...), keyID: keyID}, nil
+}
+
+// Encrypt seals a frame body: IV header ‖ RC4(body ‖ ICV). The IV is a
+// per-instance counter, as common chipsets implemented it.
+func (w *WEP) Encrypt(body []byte) ([]byte, error) {
+	iv := [wepIVLen]byte{byte(w.ivSeq), byte(w.ivSeq >> 8), byte(w.ivSeq >> 16)}
+	w.ivSeq++
+	seed := make([]byte, 0, wepIVLen+len(w.key))
+	seed = append(seed, iv[:]...)
+	seed = append(seed, w.key...)
+	c, err := rc4.NewCipher(seed)
+	if err != nil {
+		return nil, fmt.Errorf("crypto80211: %w", err)
+	}
+	icv := bitio.FCS(body)
+	plain := make([]byte, 0, len(body)+wepICVLen)
+	plain = append(plain, body...)
+	plain = binary.LittleEndian.AppendUint32(plain, icv)
+	out := make([]byte, wepIVLen+1+len(plain))
+	copy(out, iv[:])
+	out[wepIVLen] = w.keyID << 6
+	c.XORKeyStream(out[wepIVLen+1:], plain)
+	return out, nil
+}
+
+// Decrypt opens a frame body sealed by Encrypt, verifying the ICV. A
+// corrupted ciphertext fails here — which in a real AP surfaces exactly
+// like an FCS failure: the subframe is not acknowledged.
+func (w *WEP) Decrypt(sealed []byte) ([]byte, error) {
+	if len(sealed) < wepIVLen+1+wepICVLen {
+		return nil, fmt.Errorf("crypto80211: WEP frame too short: %d bytes", len(sealed))
+	}
+	iv := sealed[:wepIVLen]
+	seed := make([]byte, 0, wepIVLen+len(w.key))
+	seed = append(seed, iv...)
+	seed = append(seed, w.key...)
+	c, err := rc4.NewCipher(seed)
+	if err != nil {
+		return nil, fmt.Errorf("crypto80211: %w", err)
+	}
+	plain := make([]byte, len(sealed)-wepIVLen-1)
+	c.XORKeyStream(plain, sealed[wepIVLen+1:])
+	body := plain[:len(plain)-wepICVLen]
+	gotICV := binary.LittleEndian.Uint32(plain[len(plain)-wepICVLen:])
+	if bitio.FCS(body) != gotICV {
+		return nil, ErrIntegrity
+	}
+	return append([]byte(nil), body...), nil
+}
+
+// Overhead returns the per-MPDU byte overhead WEP adds (IV header + ICV).
+func (w *WEP) Overhead() int { return wepIVLen + 1 + wepICVLen }
+
+// Name identifies the cipher for reports.
+func (w *WEP) Name() string {
+	if len(w.key) == WEPKeyLen40 {
+		return "WEP-40"
+	}
+	return "WEP-104"
+}
+
+// ErrIntegrity reports a failed ICV/MIC check on decryption.
+var ErrIntegrity = fmt.Errorf("crypto80211: integrity check failed")
+
+// Cipher is the interface both WEP and CCMP satisfy; the WiTAG query
+// builder accepts any Cipher (or nil for an open network).
+type Cipher interface {
+	Encrypt(body []byte) ([]byte, error)
+	Decrypt(sealed []byte) ([]byte, error)
+	Overhead() int
+	Name() string
+}

@@ -1,0 +1,590 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	apAddr     = MACAddr{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	clientAddr = MACAddr{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+)
+
+func mkFrame(seq uint16, body []byte) *QoSDataFrame {
+	return &QoSDataFrame{
+		FC:     FrameControl{Type: TypeQoSData, ToDS: true},
+		Addr1:  apAddr,
+		Addr2:  clientAddr,
+		Addr3:  apAddr,
+		SeqNum: seq,
+		TID:    0,
+		Body:   body,
+	}
+}
+
+func TestMACAddrString(t *testing.T) {
+	if got := apAddr.String(); got != "02:00:00:00:00:01" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestFrameControlRoundTripProperty(t *testing.T) {
+	f := func(ty byte, flags byte) bool {
+		fc := FrameControl{
+			Type:      FrameType(ty),
+			ToDS:      flags&1 != 0,
+			FromDS:    flags&2 != 0,
+			Retry:     flags&4 != 0,
+			PwrMgmt:   flags&8 != 0,
+			MoreData:  flags&16 != 0,
+			Protected: flags&32 != 0,
+			Order:     flags&64 != 0,
+		}
+		return UnmarshalFrameControl(fc.Marshal()) == fc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameTypeStrings(t *testing.T) {
+	for ty, want := range map[FrameType]string{
+		TypeBeacon: "Beacon", TypeBlockAck: "BlockAck", TypeBlockAckReq: "BlockAckReq",
+		TypeAck: "Ack", TypeData: "Data", TypeQoSData: "QoSData", TypeQoSNull: "QoSNull",
+		TypeDataNull: "DataNull", FrameType(0x33): "FrameType(0x33)",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", byte(ty), got, want)
+		}
+	}
+}
+
+func TestQoSDataRoundTrip(t *testing.T) {
+	f := mkFrame(1234, []byte("hello witag"))
+	f.FC.Protected = true
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalQoSData(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SeqNum != 1234 || got.FC.Type != TypeQoSData || !got.FC.Protected {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Addr1 != apAddr || got.Addr2 != clientAddr {
+		t.Fatal("address mismatch")
+	}
+	if !bytes.Equal(got.Body, []byte("hello witag")) {
+		t.Fatalf("body = %q", got.Body)
+	}
+}
+
+func TestQoSNullFrameLength(t *testing.T) {
+	f := mkFrame(0, nil)
+	f.FC.Type = TypeQoSNull
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != QoSHeaderLen+4 {
+		t.Fatalf("QoS null MPDU = %d bytes, want %d", len(wire), QoSHeaderLen+4)
+	}
+}
+
+func TestQoSDataFieldValidation(t *testing.T) {
+	f := mkFrame(0x1000, nil)
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("13-bit sequence number accepted")
+	}
+	f = mkFrame(0, nil)
+	f.FragNum = 16
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("5-bit fragment number accepted")
+	}
+	f = mkFrame(0, nil)
+	f.TID = 16
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("5-bit TID accepted")
+	}
+}
+
+func TestUnmarshalQoSDataCorruptFCS(t *testing.T) {
+	wire, _ := mkFrame(7, []byte("x")).Marshal()
+	wire[5] ^= 0xFF
+	if _, err := UnmarshalQoSData(wire); err != ErrBadFCS {
+		t.Fatalf("err = %v, want ErrBadFCS", err)
+	}
+}
+
+func TestUnmarshalQoSDataTooShort(t *testing.T) {
+	// Valid FCS over a too-short body.
+	short := []byte{1, 2, 3}
+	framed := append(short, 0, 0, 0, 0)
+	copy(framed[3:], fcsOf(short))
+	if _, err := UnmarshalQoSData(framed); err == nil {
+		t.Fatal("expected short-frame error")
+	}
+}
+
+func fcsOf(p []byte) []byte {
+	w, _ := (&QoSDataFrame{}).Marshal()
+	_ = w
+	// Reuse bitio through the package under test: easiest is recompute here.
+	// (AppendFCS is covered in bitio tests; this helper just frames bytes.)
+	f := crc32IEEE(p)
+	return []byte{byte(f), byte(f >> 8), byte(f >> 16), byte(f >> 24)}
+}
+
+func crc32IEEE(p []byte) uint32 {
+	const poly = 0xEDB88320
+	crc := ^uint32(0)
+	for _, b := range p {
+		crc ^= uint32(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+func TestQoSDataRoundTripProperty(t *testing.T) {
+	f := func(seq uint16, tid byte, body []byte) bool {
+		fr := mkFrame(seq&0x0FFF, body)
+		fr.TID = tid & 0x0F
+		wire, err := fr.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalQoSData(wire)
+		if err != nil {
+			return false
+		}
+		sameBody := (len(got.Body) == 0 && len(body) == 0) || bytes.Equal(got.Body, body)
+		return got.SeqNum == seq&0x0FFF && got.TID == tid&0x0F && sameBody
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	var mpdus [][]byte
+	for i := 0; i < 10; i++ {
+		w, err := mkFrame(uint16(i), nil).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpdus = append(mpdus, w)
+	}
+	agg, err := Aggregate(mpdus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu, err := agg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := Deaggregate(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 10 {
+		t.Fatalf("recovered %d subframes, want 10", len(subs))
+	}
+	for i, s := range subs {
+		if !bytes.Equal(s.MPDU, mpdus[i]) {
+			t.Fatalf("subframe %d mismatch", i)
+		}
+	}
+}
+
+func TestAggregateLimits(t *testing.T) {
+	if _, err := Aggregate(nil); err == nil {
+		t.Fatal("empty aggregate accepted")
+	}
+	many := make([][]byte, 65)
+	for i := range many {
+		many[i] = []byte{1}
+	}
+	if _, err := Aggregate(many); err == nil {
+		t.Fatal("65 subframes accepted")
+	}
+	if _, err := Aggregate([][]byte{make([]byte, 4096)}); err == nil {
+		t.Fatal("oversized MPDU accepted")
+	}
+}
+
+func TestDeaggregateResyncAfterCorruptDelimiter(t *testing.T) {
+	mpduA, _ := mkFrame(1, nil).Marshal()
+	mpduB, _ := mkFrame(2, nil).Marshal()
+	agg, _ := Aggregate([][]byte{mpduA, mpduB})
+	psdu, _ := agg.Marshal()
+	// Corrupt the first delimiter's CRC byte: receiver should resync on the
+	// second subframe's 0x4E signature and still recover subframe B.
+	psdu[2] ^= 0xFF
+	subs, err := Deaggregate(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range subs {
+		if bytes.Equal(s.MPDU, mpduB) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("failed to resynchronise after corrupt delimiter")
+	}
+}
+
+func TestDeaggregateTruncatedClaim(t *testing.T) {
+	mpdu, _ := mkFrame(1, bytes.Repeat([]byte{7}, 40)).Marshal()
+	agg, _ := Aggregate([][]byte{mpdu})
+	psdu, _ := agg.Marshal()
+	if _, err := Deaggregate(psdu[:20]); err == nil {
+		t.Fatal("truncated PSDU with intact delimiter should error")
+	}
+}
+
+func TestSubframeBoundsConsistent(t *testing.T) {
+	var mpdus [][]byte
+	for i := 0; i < 5; i++ {
+		w, _ := mkFrame(uint16(i), bytes.Repeat([]byte{byte(i)}, i*3)).Marshal()
+		mpdus = append(mpdus, w)
+	}
+	agg, _ := Aggregate(mpdus)
+	psdu, _ := agg.Marshal()
+	bounds, err := agg.SubframeBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bounds {
+		if !bytes.Equal(psdu[b[0]:b[1]], mpdus[i]) {
+			t.Fatalf("bounds of subframe %d do not slice back its MPDU", i)
+		}
+	}
+}
+
+func TestSubframeAlignment(t *testing.T) {
+	mpdus := [][]byte{{1, 2, 3}, {4, 5, 6, 7, 8}, {9}}
+	agg, _ := Aggregate(mpdus)
+	bounds, _ := agg.SubframeBounds()
+	for i := 0; i < len(bounds)-1; i++ {
+		start := bounds[i+1][0] - DelimiterLen
+		if start%4 != 0 {
+			t.Fatalf("subframe %d delimiter starts at unaligned offset %d", i+1, start)
+		}
+	}
+}
+
+func TestBlockAckRoundTrip(t *testing.T) {
+	ba := &BlockAck{RA: clientAddr, TA: apAddr, TID: 3, StartSeq: 100, Bitmap: 0xDEADBEEFCAFEF00D}
+	wire, err := ba.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 32 {
+		t.Fatalf("BA frame = %d bytes, want 32", len(wire))
+	}
+	got, err := UnmarshalBlockAck(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TID != 3 || got.StartSeq != 100 || got.Bitmap != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("BA mismatch: %+v", got)
+	}
+	if got.RA != clientAddr || got.TA != apAddr {
+		t.Fatal("BA address mismatch")
+	}
+}
+
+func TestBlockAckValidation(t *testing.T) {
+	if _, err := (&BlockAck{TID: 16}).Marshal(); err == nil {
+		t.Fatal("TID 16 accepted")
+	}
+	if _, err := (&BlockAck{StartSeq: 4096}).Marshal(); err == nil {
+		t.Fatal("StartSeq 4096 accepted")
+	}
+	wire, _ := (&BlockAck{}).Marshal()
+	wire[0] ^= 0xFF
+	if _, err := UnmarshalBlockAck(wire); err == nil {
+		t.Fatal("corrupt BA accepted")
+	}
+	// Wrong type with valid FCS.
+	notBA, _ := mkFrame(0, nil).Marshal()
+	if _, err := UnmarshalBlockAck(notBA); err == nil {
+		t.Fatal("QoS data frame accepted as BA")
+	}
+}
+
+func TestBlockAckAckedAndSet(t *testing.T) {
+	ba := &BlockAck{StartSeq: 4090} // exercise 12-bit wraparound
+	if err := ba.SetAcked(4090); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.SetAcked(5); err != nil { // wraps to offset 11
+		t.Fatal(err)
+	}
+	if !ba.Acked(4090) || !ba.Acked(5) {
+		t.Fatal("set sequences not reported acked")
+	}
+	if ba.Acked(4091) {
+		t.Fatal("unset sequence reported acked")
+	}
+	if err := ba.SetAcked(200); err == nil {
+		t.Fatal("sequence outside window accepted")
+	}
+}
+
+func TestBlockAckBitmapBits(t *testing.T) {
+	ba := &BlockAck{Bitmap: 0b1011}
+	bits, err := ba.BitmapBits(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bits, []byte{1, 1, 0, 1, 0}) {
+		t.Fatalf("bits = %v", bits)
+	}
+	if _, err := ba.BitmapBits(65); err == nil {
+		t.Fatal("65-bit window accepted")
+	}
+	if _, err := ba.BitmapBits(-1); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+func TestBlockAckReqRoundTrip(t *testing.T) {
+	r := &BlockAckReq{RA: apAddr, TA: clientAddr, TID: 5, StartSeq: 777}
+	wire, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBlockAckReq(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TID != 5 || got.StartSeq != 777 || got.RA != apAddr || got.TA != clientAddr {
+		t.Fatalf("BAR mismatch: %+v", got)
+	}
+	if _, err := (&BlockAckReq{TID: 16}).Marshal(); err == nil {
+		t.Fatal("TID 16 accepted")
+	}
+	if _, err := (&BlockAckReq{StartSeq: 4096}).Marshal(); err == nil {
+		t.Fatal("StartSeq 4096 accepted")
+	}
+	wire[1] ^= 0x40
+	if _, err := UnmarshalBlockAckReq(wire); err == nil {
+		t.Fatal("corrupt BAR accepted")
+	}
+}
+
+func TestHTMCSTable(t *testing.T) {
+	cases := []struct {
+		idx     int
+		mod     Modulation
+		rate    CodeRate
+		streams int
+		mbps20  float64 // long GI
+	}{
+		{0, BPSK, Rate12, 1, 6.5},
+		{7, QAM64, Rate56, 1, 65},
+		{15, QAM64, Rate56, 2, 130},
+		{23, QAM64, Rate56, 3, 195},
+		{31, QAM64, Rate56, 4, 260},
+		{4, QAM16, Rate34, 1, 39},
+	}
+	for _, c := range cases {
+		m, err := HTMCS(c.idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Modulation != c.mod || m.CodeRate != c.rate || m.Streams != c.streams {
+			t.Fatalf("MCS%d = %v", c.idx, m)
+		}
+		if got := m.DataRateMbps(Width20, LongGI); !approx(got, c.mbps20, 1e-9) {
+			t.Fatalf("MCS%d rate = %v Mbps, want %v", c.idx, got, c.mbps20)
+		}
+	}
+	if _, err := HTMCS(32); err == nil {
+		t.Fatal("MCS 32 accepted")
+	}
+	if _, err := HTMCS(-1); err == nil {
+		t.Fatal("MCS -1 accepted")
+	}
+}
+
+func TestHTMCS40MHzShortGI(t *testing.T) {
+	m, _ := HTMCS(7)
+	if got := m.DataRateMbps(Width40, ShortGI); !approx(got, 150, 1e-9) {
+		t.Fatalf("MCS7@40MHz SGI = %v Mbps, want 150", got)
+	}
+}
+
+func TestVHTMCS(t *testing.T) {
+	m, err := VHTMCS(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Modulation != QAM256 || m.CodeRate != Rate56 {
+		t.Fatalf("VHT MCS9 = %v", m)
+	}
+	// VHT MCS9 1ss @80 MHz LGI = 234*8*5/6/4e-6 = 390 Mbps.
+	if got := m.DataRateMbps(Width80, LongGI); !approx(got, 390, 1e-9) {
+		t.Fatalf("VHT9@80 = %v", got)
+	}
+	if _, err := VHTMCS(10, 1); err == nil {
+		t.Fatal("VHT MCS10 accepted")
+	}
+	if _, err := VHTMCS(0, 9); err == nil {
+		t.Fatal("9 streams accepted")
+	}
+	if m8, _ := VHTMCS(8, 2); m8.Modulation != QAM256 || m8.CodeRate != Rate34 {
+		t.Fatalf("VHT MCS8 = %v", m8)
+	}
+}
+
+func TestModulationStrings(t *testing.T) {
+	if BPSK.String() != "BPSK" || QAM256.String() != "256-QAM" {
+		t.Fatal("modulation String broken")
+	}
+	if Modulation(99).BitsPerSymbol() != 0 {
+		t.Fatal("unknown modulation should carry 0 bits")
+	}
+	if Rate56.String() != "5/6" {
+		t.Fatal("CodeRate String broken")
+	}
+}
+
+func TestChannelWidthSubcarriers(t *testing.T) {
+	if Width20.DataSubcarriers() != 52 || Width40.DataSubcarriers() != 108 || Width80.DataSubcarriers() != 234 {
+		t.Fatal("data subcarrier counts wrong")
+	}
+	if Width20.PilotSubcarriers() != 4 || Width40.PilotSubcarriers() != 6 || Width80.PilotSubcarriers() != 8 {
+		t.Fatal("pilot subcarrier counts wrong")
+	}
+	if ChannelWidth(17).DataSubcarriers() != 0 {
+		t.Fatal("unknown width should report 0")
+	}
+}
+
+func TestHTPreambleDurations(t *testing.T) {
+	cases := map[int]time.Duration{
+		1: 36 * time.Microsecond,
+		2: 40 * time.Microsecond,
+		3: 48 * time.Microsecond,
+		4: 48 * time.Microsecond,
+	}
+	for streams, want := range cases {
+		if got := HTPreamble(streams); got != want {
+			t.Fatalf("HTPreamble(%d) = %v, want %v", streams, got, want)
+		}
+	}
+}
+
+func TestPPDUAirtime(t *testing.T) {
+	m, _ := HTMCS(0) // 26 data bits/symbol
+	// 100-byte PSDU: 16+800+6 = 822 bits / 26 = 31.6 → 32 symbols = 128 µs.
+	d, err := PPDUAirtime(100, m, Width20, LongGI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HTPreamble(1) + 128*time.Microsecond
+	if d != want {
+		t.Fatalf("airtime = %v, want %v", d, want)
+	}
+}
+
+func TestPPDUAirtimeInvalidWidth(t *testing.T) {
+	m, _ := HTMCS(0)
+	if _, err := PPDUAirtime(100, m, ChannelWidth(15), LongGI); err == nil {
+		t.Fatal("invalid width accepted")
+	}
+	if _, err := SubframeAirtime(10, m, ChannelWidth(15), LongGI); err == nil {
+		t.Fatal("invalid width accepted")
+	}
+}
+
+func TestSubframeAirtimeProportional(t *testing.T) {
+	m, _ := HTMCS(2) // 78 data bits/symbol @20MHz
+	d1, err := SubframeAirtime(39, m, Width20, LongGI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 39 bytes = 312 bits at 78 bits per 4 µs symbol = 16 µs.
+	if d1 != 16*time.Microsecond {
+		t.Fatalf("subframe airtime = %v, want 16µs", d1)
+	}
+	d2, _ := SubframeAirtime(78, m, Width20, LongGI)
+	if d2 != 2*d1 {
+		t.Fatal("airtime not proportional to length")
+	}
+}
+
+func TestBlockAckAirtime(t *testing.T) {
+	d, err := BlockAckAirtime(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16+256+6=278 bits at 96 bits/symbol → 3 symbols = 12 µs + 20 µs preamble.
+	if d != 32*time.Microsecond {
+		t.Fatalf("BA airtime = %v, want 32µs", d)
+	}
+	if _, err := BlockAckAirtime(0); err == nil {
+		t.Fatal("zero BA rate accepted")
+	}
+}
+
+func TestQueryRoundAirtime(t *testing.T) {
+	m, _ := HTMCS(2)
+	ex, err := QueryRoundAirtime(2048, m, Width20, LongGI, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Access != DIFS+time.Duration(7.5*float64(SlotTime)) {
+		t.Fatalf("access = %v", ex.Access)
+	}
+	if ex.Total() != ex.Access+ex.PPDU+ex.SIFS+ex.BlockAck {
+		t.Fatal("Total is not the sum of parts")
+	}
+	if ex.PPDU <= HTPreamble(1) {
+		t.Fatal("PPDU duration implausibly small")
+	}
+	if _, err := QueryRoundAirtime(10, m, ChannelWidth(1), LongGI, 24); err == nil {
+		t.Fatal("invalid width accepted")
+	}
+	if _, err := QueryRoundAirtime(10, m, Width20, LongGI, -1); err == nil {
+		t.Fatal("negative BA rate accepted")
+	}
+}
+
+func TestGuardIntervalStrings(t *testing.T) {
+	if LongGI.String() != "LGI(800ns)" || ShortGI.String() != "SGI(400ns)" {
+		t.Fatal("GI String broken")
+	}
+	if ShortGI.SymbolDuration() != 3600*time.Nanosecond {
+		t.Fatal("SGI symbol duration wrong")
+	}
+}
+
+func TestMCSString(t *testing.T) {
+	m, _ := HTMCS(12)
+	if got := m.String(); got != "MCS12 16-QAM 3/4 2ss" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func approx(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

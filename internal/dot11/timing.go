@@ -1,0 +1,149 @@
+package dot11
+
+import (
+	"fmt"
+	"time"
+)
+
+// MAC/PHY timing constants for OFDM PHYs in the 5 GHz band and HT in
+// 2.4/5 GHz (IEEE 802.11-2012 Table 18-17, §20.3.7, §9.3.7). WiTAG's
+// throughput (§4.1 of the paper) is pure airtime arithmetic over these.
+const (
+	SIFS     = 16 * time.Microsecond
+	SlotTime = 9 * time.Microsecond
+	DIFS     = SIFS + 2*SlotTime // 34 µs
+
+	// Legacy (non-HT) preamble: L-STF 8 + L-LTF 8 + L-SIG 4.
+	LegacyPreamble = 20 * time.Microsecond
+
+	// HT-mixed preamble adds HT-SIG 8 + HT-STF 4 to the legacy part;
+	// HT-LTFs (4 µs each, one per stream, 3 streams need 4 by the
+	// standard's table) come on top via HTPreamble.
+	htMixedFixed = LegacyPreamble + 12*time.Microsecond
+
+	// CWmin for best-effort access: the initial contention window is
+	// [0, 15] slots, so the mean backoff is 7.5 slots.
+	CWmin = 15
+)
+
+// GuardInterval selects the OFDM guard interval.
+type GuardInterval int
+
+const (
+	LongGI  GuardInterval = iota // 800 ns ⇒ 4 µs symbols
+	ShortGI                      // 400 ns ⇒ 3.6 µs symbols
+)
+
+// SymbolDuration returns the OFDM symbol time including the guard interval.
+func (g GuardInterval) SymbolDuration() time.Duration {
+	if g == ShortGI {
+		return 3600 * time.Nanosecond
+	}
+	return 4 * time.Microsecond
+}
+
+// String names the guard interval.
+func (g GuardInterval) String() string {
+	if g == ShortGI {
+		return "SGI(400ns)"
+	}
+	return "LGI(800ns)"
+}
+
+// numHTLTF maps stream count to the number of HT long training fields
+// (IEEE 802.11-2012 Table 20-13): 1→1, 2→2, 3→4, 4→4.
+func numHTLTF(streams int) int {
+	switch {
+	case streams <= 1:
+		return 1
+	case streams == 2:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// HTPreamble returns the duration of an HT-mixed-format preamble for the
+// given stream count. This is the only part of the PPDU during which the
+// receiver estimates the channel — the window in which a WiTAG tag must
+// hold its reflection state steady.
+func HTPreamble(streams int) time.Duration {
+	return htMixedFixed + time.Duration(numHTLTF(streams))*4*time.Microsecond
+}
+
+// PPDUAirtime computes the on-air duration of an HT PPDU carrying a PSDU of
+// psduLen bytes: preamble plus ⌈(16 service bits + 8·len + 6 tail bits) /
+// N_DBPS⌉ OFDM symbols.
+func PPDUAirtime(psduLen int, mcs MCS, w ChannelWidth, gi GuardInterval) (time.Duration, error) {
+	ndbps := mcs.DataBitsPerSymbol(w)
+	if ndbps <= 0 {
+		return 0, fmt.Errorf("dot11: MCS %v has no data bits per symbol at %d MHz", mcs, w)
+	}
+	bits := 16 + 8*psduLen + 6
+	nsym := (bits + ndbps - 1) / ndbps
+	return HTPreamble(mcs.Streams) + time.Duration(nsym)*gi.SymbolDuration(), nil
+}
+
+// SubframeAirtime returns the time the PHY spends on one A-MPDU subframe of
+// the given on-air length (delimiter + MPDU + padding). Because subframes
+// share the aggregate's OFDM symbol stream this is a byte-proportional
+// slice of the data portion, not an independent PPDU — which is why the tag
+// needs only byte-rate arithmetic (learned from the trigger subframes) to
+// time its corruption windows.
+func SubframeAirtime(subframeLen int, mcs MCS, w ChannelWidth, gi GuardInterval) (time.Duration, error) {
+	ndbps := mcs.DataBitsPerSymbol(w)
+	if ndbps <= 0 {
+		return 0, fmt.Errorf("dot11: MCS %v has no data bits per symbol at %d MHz", mcs, w)
+	}
+	secPerBit := gi.SymbolDuration().Seconds() / float64(ndbps)
+	return time.Duration(float64(subframeLen*8) * secPerBit * float64(time.Second)), nil
+}
+
+// BlockAckAirtime returns the duration of a compressed BA response sent at
+// a basic legacy OFDM rate of baRateMbps (6, 12 or 24 Mbps).
+func BlockAckAirtime(baRateMbps float64) (time.Duration, error) {
+	if baRateMbps <= 0 {
+		return 0, fmt.Errorf("dot11: non-positive BA rate %v", baRateMbps)
+	}
+	const baLen = 32 // compressed BA frame bytes including FCS
+	// Legacy OFDM: 4 µs symbols, N_DBPS = rate(Mbps) * 4.
+	ndbps := baRateMbps * 4
+	bits := 16 + 8*baLen + 6
+	nsym := int((float64(bits) + ndbps - 1) / ndbps)
+	return LegacyPreamble + time.Duration(nsym)*4*time.Microsecond, nil
+}
+
+// TXOPExchange aggregates the airtime of a full query round: channel access
+// (DIFS + mean backoff), the A-MPDU PPDU, SIFS, and the block ACK.
+type TXOPExchange struct {
+	Access   time.Duration
+	PPDU     time.Duration
+	SIFS     time.Duration
+	BlockAck time.Duration
+}
+
+// Total returns the whole exchange duration.
+func (t TXOPExchange) Total() time.Duration {
+	return t.Access + t.PPDU + t.SIFS + t.BlockAck
+}
+
+// QueryRoundAirtime computes the airtime budget of one WiTAG query round:
+// an A-MPDU PSDU of psduLen bytes at the given MCS, answered by a block
+// ACK at baRateMbps, with mean contention overhead.
+func QueryRoundAirtime(psduLen int, mcs MCS, w ChannelWidth, gi GuardInterval, baRateMbps float64) (TXOPExchange, error) {
+	ppdu, err := PPDUAirtime(psduLen, mcs, w, gi)
+	if err != nil {
+		return TXOPExchange{}, err
+	}
+	ba, err := BlockAckAirtime(baRateMbps)
+	if err != nil {
+		return TXOPExchange{}, err
+	}
+	meanBackoff := time.Duration(float64(CWmin) / 2 * float64(SlotTime))
+	return TXOPExchange{
+		Access:   DIFS + meanBackoff,
+		PPDU:     ppdu,
+		SIFS:     SIFS,
+		BlockAck: ba,
+	}, nil
+}

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"witag/internal/core"
+	"witag/internal/crypto80211"
+	"witag/internal/dot11"
+	"witag/internal/stats"
+	"witag/internal/tag"
+)
+
+// Ablations over the design choices DESIGN.md calls out.
+
+// AblationRow is one configuration of any ablation.
+type AblationRow struct {
+	Label       string
+	BER         float64
+	RateKbps    float64
+	GoodputKbps float64
+	Note        string
+}
+
+// AblationResult is a titled table.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: %s\n", r.Title)
+	fmt.Fprintf(&b, "%-34s %-10s %-12s %-14s %s\n", "Configuration", "BER", "rate Kbps", "goodput Kbps", "note")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-34s %-10.4f %-12.1f %-14.1f %s\n",
+			row.Label, row.BER, row.RateKbps, row.GoodputKbps, row.Note)
+	}
+	return b.String()
+}
+
+// AblationSwitchMode compares §5.2's phase-flip signalling with the naive
+// open/short design at the worst-case (mid-span) tag position.
+func AblationSwitchMode(seed int64, rounds int) (*AblationResult, error) {
+	res := &AblationResult{Title: "switch design (tag mid-span, the worst case)"}
+	for _, mode := range []struct {
+		label      string
+		rest, flip tag.SwitchState
+	}{
+		{"0°/180° phase flip (WiTAG)", tag.Phase0, tag.Phase180},
+		{"reflective/non-reflective", tag.Short, tag.Open},
+	} {
+		sys, env, err := LoSTestbed(4, seed)
+		if err != nil {
+			return nil, err
+		}
+		sys.Tag.RestState = mode.rest
+		sys.Tag.FlipState = mode.flip
+		rs, err := MeasureRun(sys, env, rounds, seed+5)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := sys.TagRateBps()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label: mode.label, BER: rs.BER, RateKbps: rate / 1e3,
+			GoodputKbps: rate / 1e3 * (1 - rs.BER),
+			Note:        "paper: flip doubles |Δh|",
+		})
+	}
+	if res.Rows[0].BER >= res.Rows[1].BER {
+		return nil, fmt.Errorf("experiments: phase flip (BER %v) should beat on/off (BER %v)",
+			res.Rows[0].BER, res.Rows[1].BER)
+	}
+	return res, nil
+}
+
+// AblationTriggerCount sweeps the number of trigger subframes: more
+// triggers improve detection robustness but spend subframes that could
+// carry data (§7 notes the overhead is small against 64-subframe
+// aggregates).
+func AblationTriggerCount(seed int64, rounds int) (*AblationResult, error) {
+	res := &AblationResult{Title: "trigger subframes per query"}
+	for _, tl := range []int{2, 4, 8, 16} {
+		sys, env, err := LoSTestbed(2, seed)
+		if err != nil {
+			return nil, err
+		}
+		sys.Spec.TriggerLen = tl
+		sys.Spec.DataLen = 64 - tl
+		if err := sys.Reshape(); err != nil {
+			return nil, err
+		}
+		rs, err := MeasureRun(sys, env, rounds, seed+6)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := sys.TagRateBps()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:       fmt.Sprintf("%d triggers + %d data subframes", tl, 64-tl),
+			BER:         rs.BER,
+			RateKbps:    rate / 1e3,
+			GoodputKbps: rate / 1e3 * (1 - rs.BER),
+			Note:        fmt.Sprintf("detection %.2f", rs.DetectionRate),
+		})
+	}
+	// More triggers must not raise the data rate.
+	if res.Rows[0].RateKbps < res.Rows[len(res.Rows)-1].RateKbps {
+		return nil, fmt.Errorf("experiments: trigger overhead should reduce the data rate")
+	}
+	return res, nil
+}
+
+// AblationFEC compares raw tag bits against CRC-framed and FEC-framed
+// transfers — the error-handling layer §4.1 leaves to future work. The
+// metric is application goodput: payload bits delivered in verified frames
+// per second.
+func AblationFEC(seed int64, frames int) (*AblationResult, error) {
+	res := &AblationResult{Title: "tag-data framing and FEC (tag at 2 m, BER ≈ 0.5%)"}
+	const payloadBytes = 16
+	for _, cfg := range []struct {
+		label string
+		codec core.Codec
+	}{
+		{"raw CRC-16 framing", core.Codec{}},
+		{"SECDED(8,4) FEC", core.Codec{FEC: true}},
+		{"SECDED + depth-12 interleaver", core.Codec{FEC: true, InterleaveDepth: 12}},
+	} {
+		sys, env, err := LoSTestbed(2, seed)
+		if err != nil {
+			return nil, err
+		}
+		rng := stats.NewRNG(seed + 9)
+		delivered, attempts, rounds := 0, 0, 0
+		var airtime time.Duration
+		var berSum float64
+		for f := 0; f < frames; f++ {
+			payload := stats.RandomBytes(rng, payloadBytes)
+			bits, err := cfg.codec.Encode(payload)
+			if err != nil {
+				return nil, err
+			}
+			var rx []byte
+			for off := 0; off < len(bits); off += sys.Spec.DataLen {
+				end := off + sys.Spec.DataLen
+				if end > len(bits) {
+					end = len(bits)
+				}
+				env.Advance(0.05)
+				r, err := sys.QueryRound(bits[off:end])
+				if err != nil {
+					return nil, err
+				}
+				rx = append(rx, r.RxBits[:end-off]...)
+				airtime += r.Airtime
+				berSum += r.BER()
+				rounds++
+			}
+			attempts++
+			got, _, err := cfg.codec.Decode(rx)
+			if err == nil && string(got) == string(payload) {
+				delivered++
+			}
+		}
+		goodput := float64(delivered*payloadBytes*8) / airtime.Seconds() / 1e3
+		rate, err := sys.TagRateBps()
+		if err != nil {
+			return nil, err
+		}
+		expansion := float64(cfg.codec.EncodedBits(payloadBytes)) / float64(payloadBytes*8)
+		res.Rows = append(res.Rows, AblationRow{
+			Label:       cfg.label,
+			BER:         berSum / float64(rounds),
+			RateKbps:    rate / 1e3,
+			GoodputKbps: goodput,
+			Note:        fmt.Sprintf("%d/%d frames verified, %.1fx coding expansion", delivered, attempts, expansion),
+		})
+	}
+	return res, nil
+}
+
+// AblationAMPDUSize sweeps aggregate size at the default MCS.
+func AblationAMPDUSize(seed int64, rounds int) (*AblationResult, error) {
+	res := &AblationResult{Title: "A-MPDU size"}
+	for _, total := range []int{8, 16, 32, 64} {
+		sys, env, err := LoSTestbed(2, seed)
+		if err != nil {
+			return nil, err
+		}
+		sys.Spec.TriggerLen = 4
+		sys.Spec.DataLen = total - 4
+		if err := sys.Reshape(); err != nil {
+			return nil, err
+		}
+		rs, err := MeasureRun(sys, env, rounds, seed+8)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := sys.TagRateBps()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:       fmt.Sprintf("%d subframes", total),
+			BER:         rs.BER,
+			RateKbps:    rate / 1e3,
+			GoodputKbps: rate / 1e3 * (1 - rs.BER),
+		})
+	}
+	if res.Rows[len(res.Rows)-1].RateKbps <= res.Rows[0].RateKbps {
+		return nil, fmt.Errorf("experiments: aggregation should amortise overhead")
+	}
+	return res, nil
+}
+
+// AblationRobustRate sweeps the query MCS: too aggressive a rate confuses
+// path-loss failures with tag zeros (§4.1's robust-rate rule).
+func AblationRobustRate(seed int64, rounds int) (*AblationResult, error) {
+	res := &AblationResult{Title: "query MCS (robust-rate rule)"}
+	for _, idx := range []int{0, 2, 4, 7} {
+		sys, env, err := LoSTestbed(2, seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := dot11.HTMCS(idx)
+		if err != nil {
+			return nil, err
+		}
+		sys.Spec.MCS = m
+		if err := sys.Reshape(); err != nil {
+			return nil, err
+		}
+		rs, err := MeasureRun(sys, env, rounds, seed+4)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := sys.TagRateBps()
+		if err != nil {
+			return nil, err
+		}
+		note := ""
+		if rs.BER > 0.3 {
+			note = "modulation too robust: the tag cannot corrupt it"
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:       fmt.Sprintf("MCS%d", idx),
+			BER:         rs.BER,
+			RateKbps:    rate / 1e3,
+			GoodputKbps: rate / 1e3 * (1 - rs.BER),
+			Note:        note,
+		})
+	}
+	return res, nil
+}
+
+// AblationEncryption re-runs the near-client deployment on open, WEP and
+// WPA2 networks — the §4 transparency claim as a table.
+func AblationEncryption(seed int64, rounds int) (*AblationResult, error) {
+	res := &AblationResult{Title: "encryption transparency"}
+	for _, mode := range []string{"open", "WEP-104", "WPA2-CCMP"} {
+		sys, env, err := LoSTestbed(1, seed)
+		if err != nil {
+			return nil, err
+		}
+		switch mode {
+		case "WEP-104":
+			c, err := crypto80211.NewWEP(make([]byte, 13), 0)
+			if err != nil {
+				return nil, err
+			}
+			sys.Cipher = c
+			sys.Scheduler.Cipher = c
+		case "WPA2-CCMP":
+			c, err := crypto80211.NewCCMP(make([]byte, 16), [6]byte{2, 0, 0, 0, 0, 0x10}, 0)
+			if err != nil {
+				return nil, err
+			}
+			sys.Cipher = c
+			sys.Scheduler.Cipher = c
+		}
+		if err := sys.Reshape(); err != nil {
+			return nil, err
+		}
+		rs, err := MeasureRun(sys, env, rounds, seed+2)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := sys.TagRateBps()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:       mode,
+			BER:         rs.BER,
+			RateKbps:    rate / 1e3,
+			GoodputKbps: rate / 1e3 * (1 - rs.BER),
+			Note:        fmt.Sprintf("%d-tick subframes", sys.Spec.TicksPerSubframe),
+		})
+	}
+	// The claim: encryption does not raise BER (it may cost rate via
+	// longer subframes).
+	for _, row := range res.Rows[1:] {
+		if row.BER > res.Rows[0].BER+0.02 {
+			return nil, fmt.Errorf("experiments: %s BER %v far above open %v", row.Label, row.BER, res.Rows[0].BER)
+		}
+	}
+	return res, nil
+}

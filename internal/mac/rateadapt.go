@@ -1,0 +1,100 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"witag/internal/dot11"
+)
+
+// Minstrel-style rate adaptation. WiTAG's query sender needs the *highest*
+// rate that still decodes with near-zero loss when the tag is idle (§4.1):
+// too low wastes airtime (fewer tag bits per second), too high confuses
+// path-loss failures with tag zeros. This controller probes rates like
+// Minstrel but optimises for success probability above a floor rather than
+// raw throughput.
+type RateController struct {
+	// SuccessFloor is the minimum acceptable per-subframe delivery ratio.
+	SuccessFloor float64
+	// EWMA smoothing factor for per-rate statistics.
+	Alpha float64
+	// ProbeInterval is how many updates between probes of a higher rate.
+	ProbeInterval int
+
+	stats   [8]rateStats // single-stream HT MCS 0..7
+	current int
+	updates int
+	rng     *rand.Rand
+}
+
+type rateStats struct {
+	ewmaSuccess float64
+	attempts    uint64
+	seeded      bool
+}
+
+// NewRateController starts at the most robust rate.
+func NewRateController(successFloor float64, rng *rand.Rand) (*RateController, error) {
+	if successFloor <= 0 || successFloor >= 1 {
+		return nil, fmt.Errorf("mac: success floor %v outside (0,1)", successFloor)
+	}
+	return &RateController{
+		SuccessFloor:  successFloor,
+		Alpha:         0.25,
+		ProbeInterval: 16,
+		current:       0,
+		rng:           rng,
+	}, nil
+}
+
+// Current returns the MCS the controller has settled on.
+func (rc *RateController) Current() (dot11.MCS, error) {
+	return dot11.HTMCS(rc.current)
+}
+
+// Update feeds back one A-MPDU's delivery ratio (valid subframes / total)
+// measured while the tag is idle — the sender interleaves occasional
+// tag-free calibration aggregates to obtain these.
+func (rc *RateController) Update(deliveryRatio float64) error {
+	if deliveryRatio < 0 || deliveryRatio > 1 {
+		return fmt.Errorf("mac: delivery ratio %v outside [0,1]", deliveryRatio)
+	}
+	st := &rc.stats[rc.current]
+	if !st.seeded {
+		st.ewmaSuccess = deliveryRatio
+		st.seeded = true
+	} else {
+		st.ewmaSuccess = rc.Alpha*deliveryRatio + (1-rc.Alpha)*st.ewmaSuccess
+	}
+	st.attempts++
+	rc.updates++
+
+	// Fall back immediately when below the floor.
+	if st.ewmaSuccess < rc.SuccessFloor && rc.current > 0 {
+		rc.current--
+		return nil
+	}
+	// Periodically probe one rate up.
+	if rc.updates%rc.ProbeInterval == 0 && rc.current < 7 {
+		up := &rc.stats[rc.current+1]
+		if !up.seeded || up.ewmaSuccess >= rc.SuccessFloor {
+			rc.current++
+		}
+	}
+	return nil
+}
+
+// Converged reports whether the controller has stopped moving: its current
+// rate meets the floor and the next rate up has been probed and found
+// wanting (or there is no next rate).
+func (rc *RateController) Converged() bool {
+	cur := rc.stats[rc.current]
+	if !cur.seeded || cur.ewmaSuccess < rc.SuccessFloor {
+		return false
+	}
+	if rc.current == 7 {
+		return true
+	}
+	up := rc.stats[rc.current+1]
+	return up.seeded && up.ewmaSuccess < rc.SuccessFloor
+}

@@ -1,0 +1,111 @@
+package phy
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"witag/internal/stats"
+)
+
+func TestScrambleDescrambleRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(1)
+	bits := stats.RandomBits(rng, 1000)
+	for _, seed := range []byte{1, 42, 93, 127} {
+		s, err := Scramble(bits, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Descramble(s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(d, bits) {
+			t.Fatalf("seed %d: round trip mismatch", seed)
+		}
+	}
+}
+
+func TestScrambleInvalidSeed(t *testing.T) {
+	if _, err := Scramble([]byte{1}, 0); err == nil {
+		t.Fatal("seed 0 accepted")
+	}
+	if _, err := Scramble([]byte{1}, 128); err == nil {
+		t.Fatal("seed 128 accepted")
+	}
+}
+
+func TestScrambleWhitensZeros(t *testing.T) {
+	zeros := make([]byte, 508)
+	s, _ := Scramble(zeros, 93)
+	ones := 0
+	for _, b := range s {
+		ones += int(b)
+	}
+	// The 127-period sequence is balanced: 64 ones per period.
+	if ones < 200 || ones > 308 {
+		t.Fatalf("scrambler output badly unbalanced: %d ones of 508", ones)
+	}
+}
+
+func TestScramblerPeriod127(t *testing.T) {
+	zeros := make([]byte, 254)
+	s, _ := Scramble(zeros, 55)
+	if !bytes.Equal(s[:127], s[127:254]) {
+		t.Fatal("scrambler sequence should repeat with period 127")
+	}
+	allSame := true
+	for _, b := range s[:127] {
+		if b != s[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("degenerate scrambler sequence")
+	}
+}
+
+func TestRecoverScramblerSeedAllSeeds(t *testing.T) {
+	service := make([]byte, 16) // service field is zeros pre-scrambling
+	for seed := byte(1); seed <= 127; seed++ {
+		s, err := Scramble(service, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RecoverScramblerSeed(s[:7])
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != seed {
+			t.Fatalf("seed %d recovered as %d", seed, got)
+		}
+	}
+}
+
+func TestRecoverScramblerSeedShortInput(t *testing.T) {
+	if _, err := RecoverScramblerSeed([]byte{1, 0, 1}); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestScrambleRoundTripProperty(t *testing.T) {
+	f := func(data []byte, seedRaw byte) bool {
+		seed := seedRaw%127 + 1
+		bits := make([]byte, len(data))
+		for i, d := range data {
+			bits[i] = d & 1
+		}
+		s, err := Scramble(bits, seed)
+		if err != nil {
+			return false
+		}
+		d, err := Descramble(s, seed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(d, bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Package stats provides deterministic random-number plumbing and the
+// descriptive statistics used throughout the WiTAG simulator: empirical
+// CDFs, percentiles, confidence intervals and histograms.
+//
+// Every source of randomness in the repository flows through an explicit
+// *rand.Rand created by NewRNG so that experiments are reproducible from a
+// single seed. No package in this module ever reads the wall clock for
+// entropy.
+package stats
+
+import "math/rand"
+
+// NewRNG returns a deterministic pseudo-random source for the given seed.
+// Independent subsystems (channel fading, tag clock jitter, MAC backoff...)
+// should each derive their own source via Split so that adding draws to one
+// subsystem does not perturb the others.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Split derives a new independent generator from r. The derived stream is a
+// deterministic function of r's current state, so a parent seed fully
+// determines the whole tree of generators.
+func Split(r *rand.Rand) *rand.Rand {
+	// Mix two draws so that consecutive Splits do not produce
+	// trivially-correlated child seeds.
+	a := r.Int63()
+	b := r.Int63()
+	return NewRNG(a ^ (b << 1) ^ 0x1e3779b97f4a7c15)
+}
+
+// Bernoulli returns true with probability p using r.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Gaussian returns a normally distributed sample with the given mean and
+// standard deviation.
+func Gaussian(r *rand.Rand, mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Exponential returns an exponentially distributed sample with the given
+// mean (not rate).
+func Exponential(r *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}
+
+// Uniform returns a sample uniformly distributed in [lo, hi).
+func Uniform(r *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// RandomBits fills a fresh slice of n pseudo-random bits (0 or 1).
+func RandomBits(r *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(r.Intn(2))
+	}
+	return bits
+}
+
+// RandomBytes fills a fresh slice of n pseudo-random bytes.
+func RandomBytes(r *rand.Rand, n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(r.Intn(256))
+	}
+	return buf
+}

@@ -1,0 +1,154 @@
+package tag
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tag assembles the hardware models into the WiTAG tag proper: detect a
+// query, then flip the antenna switch during the subframes that should
+// carry a 0.
+type Tag struct {
+	Switch   *AntennaSwitch
+	Clock    *Clock
+	Detector *Detector
+	// RestState is the reflection state held outside corruption windows —
+	// including during the preamble, so the AP's channel estimate bakes
+	// this state in.
+	RestState SwitchState
+	// FlipState is the corruption state (Phase180 for the §5.2 design,
+	// Open for the naive on/off design).
+	FlipState SwitchState
+	// GuardFraction trims each corruption window at both edges, keeping
+	// the flip clear of subframe boundaries despite timing slop.
+	GuardFraction float64
+	// GroupDelayNs is the electrical delay of the tag's reflection
+	// network (antenna + stub + switch); it converts to excess path
+	// length in the channel model.
+	GroupDelayNs float64
+}
+
+// New returns a tag with the prototype's design: phase-flip signalling and
+// a 50 kHz crystal.
+func New(gain float64, clk *Clock) *Tag {
+	return &Tag{
+		Switch:        NewAntennaSwitch(gain),
+		Clock:         clk,
+		Detector:      NewDetector(0.5),
+		RestState:     Phase0,
+		FlipState:     Phase180,
+		GuardFraction: 0.1,
+		GroupDelayNs:  25,
+	}
+}
+
+// ExcessPathM converts the tag's group delay to electrical path length for
+// the channel model.
+func (t *Tag) ExcessPathM() float64 {
+	return t.GroupDelayNs * 1e-9 * 299_792_458.0
+}
+
+// CorruptionCoverage computes, for each data subframe, the fraction of its
+// true airtime the tag spends in FlipState when transmitting bits.
+//
+// The tag counts its own clock ticks: it measured the subframe length as
+// timing.SubframeTicks during the trigger, and replays that count per data
+// subframe. Because both measurement and replay use the same (possibly
+// drifted) clock, static frequency error cancels; what remains is the
+// quantisation residue δ = ticks·P_actual − S_true, which accumulates
+// linearly across the aggregate — negligible for a crystal, ruinous for a
+// hot ring oscillator (§7, footnote 4).
+//
+// trueSubframe is the real on-air subframe duration; bits[i] ∈ {0,1}.
+func (t *Tag) CorruptionCoverage(timing QueryTiming, bits []byte, trueSubframe time.Duration, tempC float64) ([]float64, error) {
+	durations := make([]time.Duration, len(bits))
+	for i := range durations {
+		durations[i] = trueSubframe
+	}
+	return t.CorruptionCoverageSchedule(timing, bits, durations, tempC)
+}
+
+// CorruptionCoverageSchedule is CorruptionCoverage for queries whose
+// subframes have (slightly) different true durations — the "size
+// dithering" query shaping where the sender varies MPDU sizes to keep the
+// cumulative subframe boundaries aligned to the tag's tick grid even
+// though a single tick-aligned size does not exist at the chosen rate.
+func (t *Tag) CorruptionCoverageSchedule(timing QueryTiming, bits []byte, trueDurations []time.Duration, tempC float64) ([]float64, error) {
+	if timing.SubframeTicks <= 0 {
+		return nil, fmt.Errorf("tag: non-positive subframe ticks %d", timing.SubframeTicks)
+	}
+	if len(trueDurations) != len(bits) {
+		return nil, fmt.Errorf("tag: %d durations for %d bits", len(trueDurations), len(bits))
+	}
+	for i, d := range trueDurations {
+		if d <= 0 {
+			return nil, fmt.Errorf("tag: non-positive duration for subframe %d", i)
+		}
+	}
+	if t.GuardFraction < 0 || t.GuardFraction >= 0.5 {
+		return nil, fmt.Errorf("tag: guard fraction %v outside [0, 0.5)", t.GuardFraction)
+	}
+	tick := t.Clock.SecondsPerTick(tempC)
+	if tick <= 0 {
+		return nil, fmt.Errorf("tag: clock stopped")
+	}
+	sTag := float64(timing.SubframeTicks) * tick
+	guard := t.GuardFraction * sTag
+
+	// True subframe boundaries.
+	starts := make([]float64, len(bits)+1)
+	for i, d := range trueDurations {
+		starts[i+1] = starts[i] + d.Seconds()
+	}
+
+	coverage := make([]float64, len(bits))
+	for i, b := range bits {
+		if b&1 == 1 {
+			continue // bit 1: tag rests, no corruption window
+		}
+		// Tag-side window in true time (ticks are real time).
+		wStart := float64(i)*sTag + guard
+		wEnd := float64(i+1)*sTag - guard
+		// Distribute the window over true subframe intervals.
+		for j := range bits {
+			ov := overlap(wStart, wEnd, starts[j], starts[j+1])
+			if ov > 0 {
+				coverage[j] += ov / (starts[j+1] - starts[j])
+			}
+		}
+	}
+	for i, c := range coverage {
+		if c > 1 {
+			coverage[i] = 1
+		}
+	}
+	return coverage, nil
+}
+
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo := a0
+	if b0 > lo {
+		lo = b0
+	}
+	hi := a1
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// ReflectionFor returns the tag's reflection coefficient for a given
+// instantaneous logical state: resting or flipped.
+func (t *Tag) ReflectionFor(flipped bool) (complex128, error) {
+	state := t.RestState
+	if flipped {
+		state = t.FlipState
+	}
+	if err := t.Switch.Set(state); err != nil {
+		return 0, err
+	}
+	return t.Switch.ReflectionCoeff(), nil
+}
