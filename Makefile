@@ -1,0 +1,30 @@
+# Developer / CI entry points. `make check` is the gate: formatting, vet
+# and the full test suite under the race detector (the concurrent trial
+# runner in internal/sim must stay race-clean).
+
+GO ?= go
+
+.PHONY: check fmt vet test race bench build
+
+check: fmt vet race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -5,19 +5,33 @@
 // Usage:
 //
 //	witag-bench [-experiment all|fig3|fig5|fig6|s41|compare|power|ablations]
-//	            [-seed N] [-runs N] [-rounds N]
+//	            [-seed N] [-runs N] [-rounds N] [-parallel N] [-json DIR]
 //
 // Scale note: "-rounds" stands in for the paper's one-minute measurement
 // windows; the defaults keep the full suite under a minute of wall time.
 // Raise them to tighten the statistics.
+//
+// Monte-Carlo trials fan across -parallel workers (default: all CPUs) via
+// internal/sim; results are byte-identical for every worker count, so
+// -parallel only changes the wall clock. Ctrl-C cancels cleanly.
+//
+// With -json DIR, each experiment additionally writes its series as
+// machine-readable BENCH_<name>.json under DIR, so successive runs (and
+// future PRs) can diff trajectories instead of parsing tables.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
 	"witag/internal/experiments"
+	"witag/internal/sim"
 )
 
 func main() {
@@ -26,38 +40,65 @@ func main() {
 		seed       = flag.Int64("seed", 42, "root random seed")
 		runs       = flag.Int("runs", 4, "measurement repetitions (figure 5; figure 6 uses 60)")
 		rounds     = flag.Int("rounds", 700, "query rounds per measurement run")
+		parallel   = flag.Int("parallel", 0, "concurrent trial workers; <= 0 means all CPUs")
+		jsonDir    = flag.String("json", "", "directory to write BENCH_<name>.json series into (empty: off)")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *seed, *runs, *rounds); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *experiment, *seed, *runs, *rounds, *parallel, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "witag-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, seed int64, runs, rounds int) error {
+// writeJSON emits one experiment's series as BENCH_<name>.json under dir.
+func writeJSON(dir, name string, v any) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(buf, '\n'), 0o644)
+}
+
+func run(ctx context.Context, experiment string, seed int64, runs, rounds, parallel int, jsonDir string) error {
 	all := experiment == "all"
 	any := false
+	runner := sim.Runner{Workers: parallel}
 
 	if all || experiment == "fig3" {
 		any = true
-		res, err := experiments.Figure3(seed)
+		res, err := experiments.Figure3Ctx(ctx, seed, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+		if err := writeJSON(jsonDir, "fig3", res); err != nil {
 			return err
 		}
 	}
 	if all || experiment == "fig5" {
 		any = true
-		res, err := experiments.Figure5(experiments.Figure5Config{Seed: seed, Runs: runs, Round: rounds})
+		res, err := experiments.Figure5Ctx(ctx, experiments.Figure5Config{Seed: seed, Runs: runs, Round: rounds, Workers: parallel})
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+		if err := writeJSON(jsonDir, "fig5", res); err != nil {
 			return err
 		}
 	}
@@ -65,16 +106,17 @@ func run(experiment string, seed int64, runs, rounds int) error {
 		any = true
 		cfg := experiments.DefaultFigure6Config()
 		cfg.Seed = seed
+		cfg.Workers = parallel
 		cfg.Round = rounds / 2
 		if cfg.Round < 10 {
 			cfg.Round = 10
 		}
-		a, err := experiments.Figure6(experiments.LocationA, cfg)
+		a, err := experiments.Figure6Ctx(ctx, experiments.LocationA, cfg)
 		if err != nil {
 			return err
 		}
 		cfg.Seed = seed + 1
-		b, err := experiments.Figure6(experiments.LocationB, cfg)
+		b, err := experiments.Figure6Ctx(ctx, experiments.LocationB, cfg)
 		if err != nil {
 			return err
 		}
@@ -83,15 +125,30 @@ func run(experiment string, seed int64, runs, rounds int) error {
 		if err := experiments.CheckFigure6Shape(a, b); err != nil {
 			return err
 		}
+		type locSeries struct {
+			Location string    `json:"location"`
+			RunBERs  []float64 `json:"runBERs"`
+			P50      float64   `json:"p50"`
+			P90      float64   `json:"p90"`
+		}
+		series := func(r *experiments.Figure6Result) locSeries {
+			return locSeries{Location: string(rune(r.Location)), RunBERs: r.RunBERs, P50: r.P50, P90: r.P90}
+		}
+		if err := writeJSON(jsonDir, "fig6", map[string]locSeries{"A": series(a), "B": series(b)}); err != nil {
+			return err
+		}
 	}
 	if all || experiment == "s41" {
 		any = true
-		res, err := experiments.Section41Sweep()
+		res, err := experiments.Section41SweepCtx(ctx, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+		if err := writeJSON(jsonDir, "s41", res); err != nil {
 			return err
 		}
 	}
@@ -105,15 +162,21 @@ func run(experiment string, seed int64, runs, rounds int) error {
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
+		if err := writeJSON(jsonDir, "compare", res); err != nil {
+			return err
+		}
 	}
 	if all || experiment == "power" {
 		any = true
-		res, err := experiments.Section7Power(seed)
+		res, err := experiments.Section7PowerCtx(ctx, runner, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+		if err := writeJSON(jsonDir, "power", res); err != nil {
 			return err
 		}
 	}
@@ -123,19 +186,36 @@ func run(experiment string, seed int64, runs, rounds int) error {
 			name string
 			run  func() (*experiments.AblationResult, error)
 		}
+		ablationSeries := map[string]*experiments.AblationResult{}
 		for _, a := range []ablation{
-			{"switch mode", func() (*experiments.AblationResult, error) { return experiments.AblationSwitchMode(seed, rounds/2) }},
-			{"trigger count", func() (*experiments.AblationResult, error) { return experiments.AblationTriggerCount(seed, rounds/4) }},
-			{"FEC framing", func() (*experiments.AblationResult, error) { return experiments.AblationFEC(seed, 6) }},
-			{"A-MPDU size", func() (*experiments.AblationResult, error) { return experiments.AblationAMPDUSize(seed, rounds/4) }},
-			{"robust rate", func() (*experiments.AblationResult, error) { return experiments.AblationRobustRate(seed, rounds/4) }},
-			{"encryption", func() (*experiments.AblationResult, error) { return experiments.AblationEncryption(seed, rounds/4) }},
+			{"switch mode", func() (*experiments.AblationResult, error) {
+				return experiments.AblationSwitchModeCtx(ctx, runner, seed, rounds/2)
+			}},
+			{"trigger count", func() (*experiments.AblationResult, error) {
+				return experiments.AblationTriggerCountCtx(ctx, runner, seed, rounds/4)
+			}},
+			{"FEC framing", func() (*experiments.AblationResult, error) {
+				return experiments.AblationFECCtx(ctx, runner, seed, 6)
+			}},
+			{"A-MPDU size", func() (*experiments.AblationResult, error) {
+				return experiments.AblationAMPDUSizeCtx(ctx, runner, seed, rounds/4)
+			}},
+			{"robust rate", func() (*experiments.AblationResult, error) {
+				return experiments.AblationRobustRateCtx(ctx, runner, seed, rounds/4)
+			}},
+			{"encryption", func() (*experiments.AblationResult, error) {
+				return experiments.AblationEncryptionCtx(ctx, runner, seed, rounds/4)
+			}},
 		} {
 			res, err := a.run()
 			if err != nil {
 				return fmt.Errorf("%s: %w", a.name, err)
 			}
 			fmt.Println(res.Render())
+			ablationSeries[a.name] = res
+		}
+		if err := writeJSON(jsonDir, "ablations", ablationSeries); err != nil {
+			return err
 		}
 	}
 	if !any {

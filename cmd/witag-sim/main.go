@@ -7,20 +7,31 @@
 //	witag-sim -ap 8,0 -tag 2,0.3 -rounds 2000
 //	witag-sim -ap 17,0 -tag 1,0.3 -walls "3.5:7,9:9,13:6" -rounds 1000
 //	witag-sim -cipher ccmp -rounds 500
+//	witag-sim -runs 16 -parallel 8            # Monte-Carlo campaign
+//
+// With -runs N > 1 the deployment is measured N times with independent
+// per-run seeds (people walk differently, tag data differs), fanned
+// across -parallel workers by internal/sim; the summary reports the mean
+// and spread across runs. Results are identical for every worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"witag/internal/channel"
 	"witag/internal/core"
 	"witag/internal/crypto80211"
 	"witag/internal/experiments"
+	"witag/internal/sim"
+	"witag/internal/stats"
 )
 
 func main() {
@@ -30,16 +41,31 @@ func main() {
 		wallsFlag  = flag.String("walls", "", "comma-separated x:attenuationDb vertical walls")
 		cipherFlag = flag.String("cipher", "open", "link cipher: open, wep, ccmp")
 		gain       = flag.Float64("gain", experiments.TagGain, "tag effective reflection gain")
-		rounds     = flag.Int("rounds", 1000, "query rounds to run")
-		seed       = flag.Int64("seed", 1, "random seed")
+		rounds     = flag.Int("rounds", 1000, "query rounds per run")
+		runs       = flag.Int("runs", 1, "independent measurement runs")
+		parallel   = flag.Int("parallel", 0, "concurrent trial workers; <= 0 means all CPUs")
+		seed       = flag.Int64("seed", 1, "root random seed")
 		tempC      = flag.Float64("temp", 25, "ambient temperature °C")
 	)
 	flag.Parse()
 
-	if err := run(*apFlag, *tagFlag, *wallsFlag, *cipherFlag, *gain, *rounds, *seed, *tempC); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := deployment{
+		apStr: *apFlag, tagStr: *tagFlag, wallsStr: *wallsFlag,
+		cipherStr: *cipherFlag, gain: *gain, tempC: *tempC,
+	}
+	if err := run(ctx, cfg, *rounds, *runs, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "witag-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// deployment is the flag-specified scenario, buildable once per run.
+type deployment struct {
+	apStr, tagStr, wallsStr, cipherStr string
+	gain, tempC                        float64
 }
 
 func parsePoint(s string) (channel.Point, error) {
@@ -58,67 +84,93 @@ func parsePoint(s string) (channel.Point, error) {
 	return channel.Point{X: x, Y: y}, nil
 }
 
-func run(apStr, tagStr, wallsStr, cipherStr string, gain float64, rounds int, seed int64, tempC float64) error {
-	ap, err := parsePoint(apStr)
+// build constructs one run's deployment from its labeled seed.
+func (d deployment) build(envSeed int64) (*core.System, *channel.Environment, error) {
+	ap, err := parsePoint(d.apStr)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	tagPos, err := parsePoint(tagStr)
+	tagPos, err := parsePoint(d.tagStr)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 
-	env := channel.NewEnvironment(seed)
+	env := channel.NewEnvironment(envSeed)
 	env.AddReflector(channel.Point{X: ap.X / 2, Y: 3.5}, 60)
 	env.AddReflector(channel.Point{X: ap.X / 2, Y: -3.5}, 60)
 	env.AddScatterers(4, 0, -3, ap.X, 3, 15, 1.0)
-	if wallsStr != "" {
-		for _, w := range strings.Split(wallsStr, ",") {
+	if d.wallsStr != "" {
+		for _, w := range strings.Split(d.wallsStr, ",") {
 			parts := strings.Split(w, ":")
 			if len(parts) != 2 {
-				return fmt.Errorf("wall %q must be x:attenuationDb", w)
+				return nil, nil, fmt.Errorf("wall %q must be x:attenuationDb", w)
 			}
 			x, err := strconv.ParseFloat(parts[0], 64)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
 			att, err := strconv.ParseFloat(parts[1], 64)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
 			env.AddWall(channel.Point{X: x, Y: -10}, channel.Point{X: x, Y: 10}, att, "wall")
 		}
 	}
 
-	sys, err := core.NewSystem(env, channel.Point{}, ap, tagPos, gain, seed)
+	sys, err := core.NewSystem(env, channel.Point{}, ap, tagPos, d.gain, envSeed)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	sys.TempC = tempC
-	switch cipherStr {
+	sys.TempC = d.tempC
+	switch d.cipherStr {
 	case "open":
 	case "wep":
 		c, err := crypto80211.NewWEP([]byte("witag"), 0)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		sys.Cipher = c
 		sys.Scheduler.Cipher = c
 	case "ccmp":
 		c, err := crypto80211.NewCCMP(make([]byte, 16), [6]byte{2, 0, 0, 0, 0, 0x10}, 0)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		sys.Cipher = c
 		sys.Scheduler.Cipher = c
 	default:
-		return fmt.Errorf("unknown cipher %q (open, wep, ccmp)", cipherStr)
+		return nil, nil, fmt.Errorf("unknown cipher %q (open, wep, ccmp)", d.cipherStr)
 	}
 	if err := sys.Reshape(); err != nil {
+		return nil, nil, err
+	}
+	return sys, env, nil
+}
+
+func run(ctx context.Context, cfg deployment, rounds, runs, parallel int, seed int64) error {
+	if runs < 1 {
+		return fmt.Errorf("need at least 1 run, got %d", runs)
+	}
+
+	trials := make([]sim.Trial, runs)
+	for i := range trials {
+		runLabel := fmt.Sprintf("run=%d", i)
+		trials[i] = sim.Trial{
+			Build: func() (*core.System, *channel.Environment, error) {
+				return cfg.build(stats.SubSeed(seed, "sim", runLabel))
+			},
+			Rounds:   rounds,
+			DataSeed: stats.SubSeed(seed, "sim", runLabel, "data"),
+		}
+	}
+	runStats, err := sim.Runner{Workers: parallel}.RunTrials(ctx, trials)
+	if err != nil {
 		return err
 	}
 
-	rs, err := experiments.MeasureRun(sys, env, rounds, seed+1)
+	// Rebuild run 0's deployment once more for the static link report
+	// (rate, SNR, query shape) — it is identical across runs.
+	sys, env, err := cfg.build(stats.SubSeed(seed, "sim", "run=0"))
 	if err != nil {
 		return err
 	}
@@ -131,15 +183,35 @@ func run(apStr, tagStr, wallsStr, cipherStr string, gain float64, rounds int, se
 		return err
 	}
 
-	fmt.Printf("deployment: client (0,0), AP %v, tag %v, cipher %s\n", ap, tagPos, cipherStr)
+	var bers, dets []float64
+	var bits, errBits int
+	var airtime float64
+	for _, rs := range runStats {
+		bers = append(bers, rs.BER)
+		dets = append(dets, rs.DetectionRate)
+		bits += rs.Bits
+		errBits += rs.Errors
+		airtime += rs.Airtime.Seconds()
+	}
+	meanBER := stats.Mean(bers)
+	meanDet := stats.Mean(dets)
+
+	fmt.Printf("deployment: client (0,0), AP %v, tag %v, cipher %s\n", sys.APPos, sys.TagPos, cfg.cipherStr)
 	fmt.Printf("link SNR          : %.1f dB\n", 10*log10(snr))
 	fmt.Printf("query shape       : %d triggers + %d data subframes, %d tick(s)/subframe\n",
 		sys.Spec.TriggerLen, sys.Spec.DataLen, sys.Spec.TicksPerSubframe)
 	fmt.Printf("offered tag rate  : %.1f Kbps\n", rate/1e3)
-	fmt.Printf("rounds            : %d (%.1f s of airtime)\n", rounds, rs.Airtime.Seconds())
-	fmt.Printf("detection rate    : %.3f\n", rs.DetectionRate)
-	fmt.Printf("tag BER           : %.5f (%d/%d bits)\n", rs.BER, rs.Errors, rs.Bits)
-	fmt.Printf("delivered goodput : %.1f Kbps\n", rate/1e3*(1-rs.BER))
+	if runs == 1 {
+		fmt.Printf("rounds            : %d (%.1f s of airtime)\n", rounds, airtime)
+		fmt.Printf("detection rate    : %.3f\n", meanDet)
+		fmt.Printf("tag BER           : %.5f (%d/%d bits)\n", meanBER, errBits, bits)
+	} else {
+		fmt.Printf("runs              : %d × %d rounds (%.1f s of airtime)\n", runs, rounds, airtime)
+		fmt.Printf("detection rate    : %.3f (mean of %d runs)\n", meanDet, runs)
+		fmt.Printf("tag BER           : %.5f ± %.5f across runs (%d/%d bits)\n",
+			meanBER, stats.StdDev(bers), errBits, bits)
+	}
+	fmt.Printf("delivered goodput : %.1f Kbps\n", rate/1e3*(1-meanBER))
 	return nil
 }
 

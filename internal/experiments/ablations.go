@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,11 +9,20 @@ import (
 	"witag/internal/core"
 	"witag/internal/crypto80211"
 	"witag/internal/dot11"
+	"witag/internal/sim"
 	"witag/internal/stats"
 	"witag/internal/tag"
 )
 
 // Ablations over the design choices DESIGN.md calls out.
+//
+// Every ablation compares a handful of configurations in the *same*
+// environment: the testbed and tag-data seeds are shared across the
+// configurations (labeled per ablation via stats.SubSeed, so no two
+// ablations alias) and only the configuration under study varies. The
+// runner fans the configurations across workers; each worker builds its
+// own copy of the environment, so the comparison stays paired and the
+// rows come back in configuration order regardless of scheduling.
 
 // AblationRow is one configuration of any ablation.
 type AblationRow struct {
@@ -44,34 +54,46 @@ func (r *AblationResult) Render() string {
 // AblationSwitchMode compares §5.2's phase-flip signalling with the naive
 // open/short design at the worst-case (mid-span) tag position.
 func AblationSwitchMode(seed int64, rounds int) (*AblationResult, error) {
-	res := &AblationResult{Title: "switch design (tag mid-span, the worst case)"}
-	for _, mode := range []struct {
+	return AblationSwitchModeCtx(context.Background(), sim.Runner{}, seed, rounds)
+}
+
+// AblationSwitchModeCtx is AblationSwitchMode on an explicit runner.
+func AblationSwitchModeCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
+	envSeed := stats.SubSeed(seed, "ablation/switch")
+	dataSeed := stats.SubSeed(seed, "ablation/switch", "data")
+	modes := []struct {
 		label      string
 		rest, flip tag.SwitchState
 	}{
 		{"0°/180° phase flip (WiTAG)", tag.Phase0, tag.Phase180},
 		{"reflective/non-reflective", tag.Short, tag.Open},
-	} {
-		sys, env, err := LoSTestbed(4, seed)
+	}
+	rows, err := sim.Map(ctx, r, len(modes), func(ctx context.Context, i int) (AblationRow, error) {
+		mode := modes[i]
+		sys, env, err := LoSTestbed(4, envSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		sys.Tag.RestState = mode.rest
 		sys.Tag.FlipState = mode.flip
-		rs, err := MeasureRun(sys, env, rounds, seed+5)
+		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		rate, err := sys.TagRateBps()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Label: mode.label, BER: rs.BER, RateKbps: rate / 1e3,
 			GoodputKbps: rate / 1e3 * (1 - rs.BER),
 			Note:        "paper: flip doubles |Δh|",
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &AblationResult{Title: "switch design (tag mid-span, the worst case)", Rows: rows}
 	if res.Rows[0].BER >= res.Rows[1].BER {
 		return nil, fmt.Errorf("experiments: phase flip (BER %v) should beat on/off (BER %v)",
 			res.Rows[0].BER, res.Rows[1].BER)
@@ -84,33 +106,45 @@ func AblationSwitchMode(seed int64, rounds int) (*AblationResult, error) {
 // carry data (§7 notes the overhead is small against 64-subframe
 // aggregates).
 func AblationTriggerCount(seed int64, rounds int) (*AblationResult, error) {
-	res := &AblationResult{Title: "trigger subframes per query"}
-	for _, tl := range []int{2, 4, 8, 16} {
-		sys, env, err := LoSTestbed(2, seed)
+	return AblationTriggerCountCtx(context.Background(), sim.Runner{}, seed, rounds)
+}
+
+// AblationTriggerCountCtx is AblationTriggerCount on an explicit runner.
+func AblationTriggerCountCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
+	envSeed := stats.SubSeed(seed, "ablation/trigger")
+	dataSeed := stats.SubSeed(seed, "ablation/trigger", "data")
+	triggers := []int{2, 4, 8, 16}
+	rows, err := sim.Map(ctx, r, len(triggers), func(ctx context.Context, i int) (AblationRow, error) {
+		tl := triggers[i]
+		sys, env, err := LoSTestbed(2, envSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		sys.Spec.TriggerLen = tl
 		sys.Spec.DataLen = 64 - tl
 		if err := sys.Reshape(); err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rs, err := MeasureRun(sys, env, rounds, seed+6)
+		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		rate, err := sys.TagRateBps()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Label:       fmt.Sprintf("%d triggers + %d data subframes", tl, 64-tl),
 			BER:         rs.BER,
 			RateKbps:    rate / 1e3,
 			GoodputKbps: rate / 1e3 * (1 - rs.BER),
 			Note:        fmt.Sprintf("detection %.2f", rs.DetectionRate),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &AblationResult{Title: "trigger subframes per query", Rows: rows}
 	// More triggers must not raise the data rate.
 	if res.Rows[0].RateKbps < res.Rows[len(res.Rows)-1].RateKbps {
 		return nil, fmt.Errorf("experiments: trigger overhead should reduce the data rate")
@@ -123,29 +157,41 @@ func AblationTriggerCount(seed int64, rounds int) (*AblationResult, error) {
 // metric is application goodput: payload bits delivered in verified frames
 // per second.
 func AblationFEC(seed int64, frames int) (*AblationResult, error) {
-	res := &AblationResult{Title: "tag-data framing and FEC (tag at 2 m, BER ≈ 0.5%)"}
+	return AblationFECCtx(context.Background(), sim.Runner{}, seed, frames)
+}
+
+// AblationFECCtx is AblationFEC on an explicit runner.
+func AblationFECCtx(ctx context.Context, r sim.Runner, seed int64, frames int) (*AblationResult, error) {
+	envSeed := stats.SubSeed(seed, "ablation/fec")
+	payloadSeed := stats.SubSeed(seed, "ablation/fec", "payload")
 	const payloadBytes = 16
-	for _, cfg := range []struct {
+	configs := []struct {
 		label string
 		codec core.Codec
 	}{
 		{"raw CRC-16 framing", core.Codec{}},
 		{"SECDED(8,4) FEC", core.Codec{FEC: true}},
 		{"SECDED + depth-12 interleaver", core.Codec{FEC: true, InterleaveDepth: 12}},
-	} {
-		sys, env, err := LoSTestbed(2, seed)
+	}
+	rows, err := sim.Map(ctx, r, len(configs), func(ctx context.Context, i int) (AblationRow, error) {
+		cfg := configs[i]
+		sys, env, err := LoSTestbed(2, envSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rng := stats.NewRNG(seed + 9)
+		// Every codec transfers the same payload sequence.
+		rng := stats.NewRNG(payloadSeed)
 		delivered, attempts, rounds := 0, 0, 0
 		var airtime time.Duration
 		var berSum float64
 		for f := 0; f < frames; f++ {
+			if err := ctx.Err(); err != nil {
+				return AblationRow{}, err
+			}
 			payload := stats.RandomBytes(rng, payloadBytes)
 			bits, err := cfg.codec.Encode(payload)
 			if err != nil {
-				return nil, err
+				return AblationRow{}, err
 			}
 			var rx []byte
 			for off := 0; off < len(bits); off += sys.Spec.DataLen {
@@ -154,13 +200,13 @@ func AblationFEC(seed int64, frames int) (*AblationResult, error) {
 					end = len(bits)
 				}
 				env.Advance(0.05)
-				r, err := sys.QueryRound(bits[off:end])
+				res, err := sys.QueryRound(bits[off:end])
 				if err != nil {
-					return nil, err
+					return AblationRow{}, err
 				}
-				rx = append(rx, r.RxBits[:end-off]...)
-				airtime += r.Airtime
-				berSum += r.BER()
+				rx = append(rx, res.RxBits[:end-off]...)
+				airtime += res.Airtime
+				berSum += res.BER()
 				rounds++
 			}
 			attempts++
@@ -172,48 +218,63 @@ func AblationFEC(seed int64, frames int) (*AblationResult, error) {
 		goodput := float64(delivered*payloadBytes*8) / airtime.Seconds() / 1e3
 		rate, err := sys.TagRateBps()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		expansion := float64(cfg.codec.EncodedBits(payloadBytes)) / float64(payloadBytes*8)
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Label:       cfg.label,
 			BER:         berSum / float64(rounds),
 			RateKbps:    rate / 1e3,
 			GoodputKbps: goodput,
 			Note:        fmt.Sprintf("%d/%d frames verified, %.1fx coding expansion", delivered, attempts, expansion),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationResult{Title: "tag-data framing and FEC (tag at 2 m, BER ≈ 0.5%)", Rows: rows}, nil
 }
 
 // AblationAMPDUSize sweeps aggregate size at the default MCS.
 func AblationAMPDUSize(seed int64, rounds int) (*AblationResult, error) {
-	res := &AblationResult{Title: "A-MPDU size"}
-	for _, total := range []int{8, 16, 32, 64} {
-		sys, env, err := LoSTestbed(2, seed)
+	return AblationAMPDUSizeCtx(context.Background(), sim.Runner{}, seed, rounds)
+}
+
+// AblationAMPDUSizeCtx is AblationAMPDUSize on an explicit runner.
+func AblationAMPDUSizeCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
+	envSeed := stats.SubSeed(seed, "ablation/ampdu")
+	dataSeed := stats.SubSeed(seed, "ablation/ampdu", "data")
+	sizes := []int{8, 16, 32, 64}
+	rows, err := sim.Map(ctx, r, len(sizes), func(ctx context.Context, i int) (AblationRow, error) {
+		total := sizes[i]
+		sys, env, err := LoSTestbed(2, envSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		sys.Spec.TriggerLen = 4
 		sys.Spec.DataLen = total - 4
 		if err := sys.Reshape(); err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rs, err := MeasureRun(sys, env, rounds, seed+8)
+		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		rate, err := sys.TagRateBps()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Label:       fmt.Sprintf("%d subframes", total),
 			BER:         rs.BER,
 			RateKbps:    rate / 1e3,
 			GoodputKbps: rate / 1e3 * (1 - rs.BER),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &AblationResult{Title: "A-MPDU size", Rows: rows}
 	if res.Rows[len(res.Rows)-1].RateKbps <= res.Rows[0].RateKbps {
 		return nil, fmt.Errorf("experiments: aggregation should amortise overhead")
 	}
@@ -223,87 +284,110 @@ func AblationAMPDUSize(seed int64, rounds int) (*AblationResult, error) {
 // AblationRobustRate sweeps the query MCS: too aggressive a rate confuses
 // path-loss failures with tag zeros (§4.1's robust-rate rule).
 func AblationRobustRate(seed int64, rounds int) (*AblationResult, error) {
-	res := &AblationResult{Title: "query MCS (robust-rate rule)"}
-	for _, idx := range []int{0, 2, 4, 7} {
-		sys, env, err := LoSTestbed(2, seed)
+	return AblationRobustRateCtx(context.Background(), sim.Runner{}, seed, rounds)
+}
+
+// AblationRobustRateCtx is AblationRobustRate on an explicit runner.
+func AblationRobustRateCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
+	envSeed := stats.SubSeed(seed, "ablation/mcs")
+	dataSeed := stats.SubSeed(seed, "ablation/mcs", "data")
+	idxs := []int{0, 2, 4, 7}
+	rows, err := sim.Map(ctx, r, len(idxs), func(ctx context.Context, i int) (AblationRow, error) {
+		idx := idxs[i]
+		sys, env, err := LoSTestbed(2, envSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		m, err := dot11.HTMCS(idx)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		sys.Spec.MCS = m
 		if err := sys.Reshape(); err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rs, err := MeasureRun(sys, env, rounds, seed+4)
+		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		rate, err := sys.TagRateBps()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		note := ""
 		if rs.BER > 0.3 {
 			note = "modulation too robust: the tag cannot corrupt it"
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Label:       fmt.Sprintf("MCS%d", idx),
 			BER:         rs.BER,
 			RateKbps:    rate / 1e3,
 			GoodputKbps: rate / 1e3 * (1 - rs.BER),
 			Note:        note,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationResult{Title: "query MCS (robust-rate rule)", Rows: rows}, nil
 }
 
 // AblationEncryption re-runs the near-client deployment on open, WEP and
 // WPA2 networks — the §4 transparency claim as a table.
 func AblationEncryption(seed int64, rounds int) (*AblationResult, error) {
-	res := &AblationResult{Title: "encryption transparency"}
-	for _, mode := range []string{"open", "WEP-104", "WPA2-CCMP"} {
-		sys, env, err := LoSTestbed(1, seed)
+	return AblationEncryptionCtx(context.Background(), sim.Runner{}, seed, rounds)
+}
+
+// AblationEncryptionCtx is AblationEncryption on an explicit runner.
+func AblationEncryptionCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
+	envSeed := stats.SubSeed(seed, "ablation/crypto")
+	dataSeed := stats.SubSeed(seed, "ablation/crypto", "data")
+	modes := []string{"open", "WEP-104", "WPA2-CCMP"}
+	rows, err := sim.Map(ctx, r, len(modes), func(ctx context.Context, i int) (AblationRow, error) {
+		mode := modes[i]
+		sys, env, err := LoSTestbed(1, envSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		switch mode {
 		case "WEP-104":
 			c, err := crypto80211.NewWEP(make([]byte, 13), 0)
 			if err != nil {
-				return nil, err
+				return AblationRow{}, err
 			}
 			sys.Cipher = c
 			sys.Scheduler.Cipher = c
 		case "WPA2-CCMP":
 			c, err := crypto80211.NewCCMP(make([]byte, 16), [6]byte{2, 0, 0, 0, 0, 0x10}, 0)
 			if err != nil {
-				return nil, err
+				return AblationRow{}, err
 			}
 			sys.Cipher = c
 			sys.Scheduler.Cipher = c
 		}
 		if err := sys.Reshape(); err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rs, err := MeasureRun(sys, env, rounds, seed+2)
+		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		rate, err := sys.TagRateBps()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Label:       mode,
 			BER:         rs.BER,
 			RateKbps:    rate / 1e3,
 			GoodputKbps: rate / 1e3 * (1 - rs.BER),
 			Note:        fmt.Sprintf("%d-tick subframes", sys.Spec.TicksPerSubframe),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &AblationResult{Title: "encryption transparency", Rows: rows}
 	// The claim: encryption does not raise BER (it may cost rate via
 	// longer subframes).
 	for _, row := range res.Rows[1:] {

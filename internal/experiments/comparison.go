@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"witag/internal/baselines"
+	"witag/internal/sim"
+	"witag/internal/stats"
 	"witag/internal/tag"
 )
 
@@ -21,7 +24,7 @@ type ComparisonResult struct {
 // PriorSystemComparison renders the comparison, measuring WiTAG's rate on
 // the LoS testbed.
 func PriorSystemComparison(seed int64) (*ComparisonResult, error) {
-	sys, _, err := LoSTestbed(1, seed)
+	sys, _, err := LoSTestbed(1, stats.SubSeed(seed, "compare"))
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +86,15 @@ type PowerResult struct {
 // end-to-end consequence of clock drift: the same LoS deployment run with
 // each clock at 35 °C (calibrated at 25 °C).
 func Section7Power(seed int64) (*PowerResult, error) {
-	res := &PowerResult{}
+	return Section7PowerCtx(context.Background(), sim.Runner{}, seed)
+}
+
+// Section7PowerCtx is Section7Power on an explicit runner; the oscillator
+// configurations fan across workers, each measured in its own copy of the
+// same seeded deployment so the comparison stays paired.
+func Section7PowerCtx(ctx context.Context, r sim.Runner, seed int64) (*PowerResult, error) {
+	envSeed := stats.SubSeed(seed, "power")
+	dataSeed := stats.SubSeed(seed, "power", "data")
 	configs := []struct {
 		label string
 		kind  tag.OscillatorKind
@@ -104,10 +115,11 @@ func Section7Power(seed int64) (*PowerResult, error) {
 			func() *tag.Clock { return tag.NewRingOscillator(50e3, nil) }},
 	}
 	harvester := tag.Harvester{IncomeW: 5e-6, StorageJ: 0.01}
-	for _, c := range configs {
+	rows, err := sim.Map(ctx, r, len(configs), func(ctx context.Context, i int) (PowerRow, error) {
+		c := configs[i]
 		p, err := tag.OscillatorPowerW(c.kind, c.freq)
 		if err != nil {
-			return nil, err
+			return PowerRow{}, err
 		}
 		budget := tag.Budget{
 			Oscillator: c.kind, ClockHz: c.freq,
@@ -116,7 +128,7 @@ func Section7Power(seed int64) (*PowerResult, error) {
 		}
 		ok, _, err := harvester.BatteryFreeFeasible(budget)
 		if err != nil {
-			return nil, err
+			return PowerRow{}, err
 		}
 		clk := c.mk()
 		drift := clk.EffectiveHz(30) - clk.EffectiveHz(25)
@@ -125,23 +137,26 @@ func Section7Power(seed int64) (*PowerResult, error) {
 		}
 
 		// End-to-end BER with this clock driving the tag, room at 35 °C.
-		sys, env, err := LoSTestbed(1, seed)
+		sys, env, err := LoSTestbed(1, envSeed)
 		if err != nil {
-			return nil, err
+			return PowerRow{}, err
 		}
 		sys.Tag.Clock = c.mk()
 		sys.TempC = 35
-		rs, err := MeasureRun(sys, env, 250, seed+3)
+		rs, err := sim.MeasureRun(ctx, sys, env, 250, dataSeed)
 		if err != nil {
-			return nil, err
+			return PowerRow{}, err
 		}
 
-		res.Rows = append(res.Rows, PowerRow{
+		return PowerRow{
 			Label: c.label, Kind: c.kind, FreqHz: c.freq, PowerW: p,
 			Drift5CHz: drift, BatteryFree: ok, TagBERAt35C: rs.BER,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &PowerResult{Rows: rows}, nil
 }
 
 // Render prints the table.

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"witag/internal/channel"
 	"witag/internal/phy"
+	"witag/internal/sim"
+	"witag/internal/stats"
 	"witag/internal/tag"
 )
 
@@ -33,11 +36,23 @@ type Figure3Result struct {
 // Figure3 measures both switching designs at several positions in the LoS
 // testbed.
 func Figure3(seed int64) (*Figure3Result, error) {
-	res := &Figure3Result{}
-	for _, d := range []float64{1, 2, 4, 6, 7} {
-		sys, env, err := LoSTestbed(d, seed)
+	return Figure3Ctx(context.Background(), seed, 0)
+}
+
+// Figure3Ctx is Figure3 with cancellation and an explicit worker count
+// (<= 0 means runtime.NumCPU()). The sweep has no Monte-Carlo loop — each
+// position is a single deterministic channel evaluation — so the runner
+// fans the positions themselves.
+func Figure3Ctx(ctx context.Context, seed int64, workers int) (*Figure3Result, error) {
+	// One labeled environment seed shared by every position: the paper
+	// measures the same room at several tag placements.
+	envSeed := stats.SubSeed(seed, "fig3")
+	distances := []float64{1, 2, 4, 6, 7}
+	points, err := sim.Map(ctx, sim.Runner{Workers: workers}, len(distances), func(ctx context.Context, i int) (Figure3Point, error) {
+		d := distances[i]
+		sys, env, err := LoSTestbed(d, envSeed)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
 		sw := sys.Tag.Switch
 		mk := func(st tag.SwitchState) (*channel.TagReflection, error) {
@@ -52,28 +67,28 @@ func Figure3(seed int64) (*Figure3Result, error) {
 		}
 		short, err := mk(tag.Short)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
 		open, err := mk(tag.Open)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
 		p0, err := mk(tag.Phase0)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
 		p180, err := mk(tag.Phase180)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
 
 		onOff, err := env.TagDeltaPower(sys.ClientPos, sys.APPos, short, open)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
 		flip, err := env.TagDeltaPower(sys.ClientPos, sys.APPos, p0, p180)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
 
 		dist := func(a, b *channel.TagReflection) (float64, error) {
@@ -89,22 +104,25 @@ func Figure3(seed int64) (*Figure3Result, error) {
 		}
 		dOnOff, err := dist(short, open)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
 		dFlip, err := dist(p0, p180)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
 
-		res.Points = append(res.Points, Figure3Point{
+		return Figure3Point{
 			DistanceM:         d,
 			OnOffDeltaDb:      10 * log10(onOff),
 			FlipDeltaDb:       10 * log10(flip),
 			OnOffDistortionDb: 10 * log10(dOnOff),
 			FlipDistortionDb:  10 * log10(dFlip),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure3Result{Points: points}, nil
 }
 
 func log10(x float64) float64 {

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"witag/internal/channel"
+	"witag/internal/core"
+	"witag/internal/sim"
 	"witag/internal/stats"
 )
 
@@ -14,9 +18,10 @@ import (
 
 // Figure5Config parameterises the sweep.
 type Figure5Config struct {
-	Seed  int64
-	Runs  int // measurement repetitions per location (paper: 4)
-	Round int // query rounds per run (scale stand-in for "one minute")
+	Seed    int64
+	Runs    int // measurement repetitions per location (paper: 4)
+	Round   int // query rounds per run (scale stand-in for "one minute")
+	Workers int // concurrent trial workers; <= 0 means runtime.NumCPU()
 }
 
 // DefaultFigure5Config mirrors the paper at simulation-friendly scale.
@@ -39,43 +44,70 @@ type Figure5Result struct {
 	RawRateKbps float64 // tag bits offered per second (error-free ceiling)
 }
 
-// Figure5 runs the sweep.
+// Figure5 runs the sweep on the shared trial runner.
 func Figure5(cfg Figure5Config) (*Figure5Result, error) {
+	return Figure5Ctx(context.Background(), cfg)
+}
+
+// Figure5Ctx is Figure5 with cancellation.
+func Figure5Ctx(ctx context.Context, cfg Figure5Config) (*Figure5Result, error) {
 	if cfg.Runs < 1 || cfg.Round < 1 {
 		return nil, fmt.Errorf("experiments: need ≥1 run and ≥1 round, got %d×%d", cfg.Runs, cfg.Round)
 	}
+	distances := []float64{1, 2, 3, 4, 5, 6, 7}
 	res := &Figure5Result{}
-	for _, d := range []float64{1, 2, 3, 4, 5, 6, 7} {
+
+	// The offered-rate ceiling depends only on the query shape, which the
+	// LoS testbed fixes regardless of tag position — compute it once, off
+	// the Monte-Carlo path, instead of the old once-guard inside the run
+	// loop.
+	{
+		sys, _, err := LoSTestbed(distances[0], stats.SubSeed(cfg.Seed, "fig5", "rate"))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := sys.TagRateBps()
+		if err != nil {
+			return nil, err
+		}
+		res.RawRateKbps = raw / 1000
+	}
+
+	trials := make([]sim.Trial, 0, len(distances)*cfg.Runs)
+	for _, d := range distances {
+		for run := 0; run < cfg.Runs; run++ {
+			d := d
+			dLabel := fmt.Sprintf("d=%g", d)
+			runLabel := fmt.Sprintf("run=%d", run)
+			trials = append(trials, sim.Trial{
+				Build: func() (*core.System, *channel.Environment, error) {
+					return LoSTestbed(d, stats.SubSeed(cfg.Seed, "fig5", dLabel, runLabel))
+				},
+				Rounds:   cfg.Round,
+				DataSeed: stats.SubSeed(cfg.Seed, "fig5", dLabel, runLabel, "data"),
+			})
+		}
+	}
+	runStats, err := sim.Runner{Workers: cfg.Workers}.RunTrials(ctx, trials)
+	if err != nil {
+		return nil, err
+	}
+
+	for di, d := range distances {
 		var bers []float64
 		var det, rate float64
 		for run := 0; run < cfg.Runs; run++ {
-			seed := cfg.Seed + int64(run)*1000 + int64(d*10)
-			sys, env, err := LoSTestbed(d, seed)
-			if err != nil {
-				return nil, err
-			}
-			rs, err := MeasureRun(sys, env, cfg.Round, seed+7)
-			if err != nil {
-				return nil, err
-			}
+			rs := runStats[di*cfg.Runs+run]
 			bers = append(bers, rs.BER)
 			det += rs.DetectionRate
-			if res.RawRateKbps == 0 {
-				raw, err := sys.TagRateBps()
-				if err != nil {
-					return nil, err
-				}
-				res.RawRateKbps = raw / 1000
-			}
 			if rs.Airtime > 0 {
 				goodBits := float64(rs.Bits - rs.Errors)
 				rate += goodBits / rs.Airtime.Seconds() / 1000
 			}
 		}
-		mean := stats.Mean(bers)
 		res.Points = append(res.Points, Figure5Point{
 			DistanceM:      d,
-			BER:            mean,
+			BER:            stats.Mean(bers),
 			BERStd:         stats.StdDev(bers),
 			ThroughputKbps: rate / float64(cfg.Runs),
 			DetectionRate:  det / float64(cfg.Runs),

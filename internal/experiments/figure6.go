@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"witag/internal/channel"
+	"witag/internal/core"
 	"witag/internal/dot11"
 	"witag/internal/phy"
+	"witag/internal/sim"
 	"witag/internal/stats"
 )
 
@@ -17,9 +21,10 @@ import (
 
 // Figure6Config parameterises one location's measurement campaign.
 type Figure6Config struct {
-	Seed  int64
-	Runs  int // measurement repetitions (paper: 60)
-	Round int // query rounds per run
+	Seed    int64
+	Runs    int // measurement repetitions (paper: 60)
+	Round   int // query rounds per run
+	Workers int // concurrent trial workers; <= 0 means runtime.NumCPU()
 }
 
 // DefaultFigure6Config mirrors the paper at simulation-friendly scale.
@@ -36,67 +41,38 @@ type Figure6Result struct {
 	P90      float64
 }
 
-// Figure6 runs the campaign for one location.
+// Figure6 runs the campaign for one location on the shared trial runner.
 func Figure6(loc NLoSLocation, cfg Figure6Config) (*Figure6Result, error) {
+	return Figure6Ctx(context.Background(), loc, cfg)
+}
+
+// Figure6Ctx is Figure6 with cancellation.
+func Figure6Ctx(ctx context.Context, loc NLoSLocation, cfg Figure6Config) (*Figure6Result, error) {
 	if cfg.Runs < 2 || cfg.Round < 1 {
 		return nil, fmt.Errorf("experiments: need ≥2 runs and ≥1 round, got %d×%d", cfg.Runs, cfg.Round)
 	}
 	res := &Figure6Result{Location: loc}
-	ambRng := stats.NewRNG(cfg.Seed ^ 0x5eed)
-	for run := 0; run < cfg.Runs; run++ {
-		seed := cfg.Seed + int64(run)*313
-		sys, env, err := NLoSTestbed(loc, seed)
-		if err != nil {
-			return nil, err
+	locLabel := fmt.Sprintf("loc=%c", loc)
+	trials := make([]sim.Trial, cfg.Runs)
+	for run := range trials {
+		runLabel := fmt.Sprintf("run=%d", run)
+		trials[run] = sim.Trial{
+			Build: func() (*core.System, *channel.Environment, error) {
+				return nlosRunDeployment(loc, cfg.Seed, locLabel, runLabel)
+			},
+			Rounds:   cfg.Round,
+			DataSeed: stats.SubSeed(cfg.Seed, "fig6", locLabel, runLabel, "data"),
 		}
-		// Interference varies between runs: some minutes the neighbours'
-		// traffic (or the microwave) is busier. Drawn once per run, as in
-		// any campus building.
-		sys.AmbientLossProb = stats.Exponential(ambRng, 0.005)
-		// §4.1's robust-rate rule: the client measures the link at the
-		// start of the run and picks the fastest MCS with near-zero
-		// subframe loss, keeping a 1.5 dB fading margin. At location A
-		// the link has >20 dB of headroom; at B the chosen rate sits
-		// close to the error cliff.
-		snr, err := env.SNR(sys.ClientPos, sys.APPos)
-		if err != nil {
-			return nil, err
-		}
-		const subBits = 400 // ≈ one-tick subframe, in bits
-		if mcs, err := phy.RobustMCS(snr/1.6, subBits, 0.9995); err == nil {
-			sys.Spec.MCS = mcs
-		} else {
-			mcs0, err := dot11.HTMCS(0)
-			if err != nil {
-				return nil, err
-			}
-			sys.Spec.MCS = mcs0
-		}
-		if err := sys.Reshape(); err != nil {
-			return nil, err
-		}
-		// After the client calibrates, the minute's conditions drift:
-		// wall penetration wanders a few dB as doors, furniture and
-		// crowds move. With B's thin margin this drift is what pushes its
-		// bad minutes over the cliff — the tail of the paper's Figure 6.
-		if len(env.Walls) > 0 {
-			jitter := stats.Gaussian(ambRng, 0, 1.6)
-			if jitter > 2.2 {
-				jitter = 2.2
-			}
-			if jitter < -2.2 {
-				jitter = -2.2
-			}
-			env.Walls[0].AttenuationDb += jitter
-		}
-		rs, err := MeasureRun(sys, env, cfg.Round, seed+11)
-		if err != nil {
-			return nil, err
-		}
-		res.RunBERs = append(res.RunBERs, rs.BER)
+	}
+	runStats, err := sim.Runner{Workers: cfg.Workers}.RunTrials(ctx, trials)
+	if err != nil {
+		return nil, err
+	}
+	res.RunBERs = make([]float64, len(runStats))
+	for i, rs := range runStats {
+		res.RunBERs[i] = rs.BER
 	}
 	res.CDF = stats.NewCDF(res.RunBERs)
-	var err error
 	if res.P50, err = res.CDF.Quantile(0.5); err != nil {
 		return nil, err
 	}
@@ -104,6 +80,60 @@ func Figure6(loc NLoSLocation, cfg Figure6Config) (*Figure6Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// nlosRunDeployment builds one run's deployment: the testbed, that
+// minute's ambient interference, the client's robust-rate calibration and
+// the post-calibration wall-penetration drift. All randomness is drawn
+// from per-run labeled seeds, so each run is independent of every other
+// and of the order trials execute in.
+func nlosRunDeployment(loc NLoSLocation, rootSeed int64, locLabel, runLabel string) (*core.System, *channel.Environment, error) {
+	sys, env, err := NLoSTestbed(loc, stats.SubSeed(rootSeed, "fig6", locLabel, runLabel))
+	if err != nil {
+		return nil, nil, err
+	}
+	// Interference varies between runs: some minutes the neighbours'
+	// traffic (or the microwave) is busier. Drawn once per run, as in
+	// any campus building.
+	ambRng := stats.NewRNG(stats.SubSeed(rootSeed, "fig6", locLabel, runLabel, "ambient"))
+	sys.AmbientLossProb = stats.Exponential(ambRng, 0.005)
+	// §4.1's robust-rate rule: the client measures the link at the
+	// start of the run and picks the fastest MCS with near-zero
+	// subframe loss, keeping a 1.5 dB fading margin. At location A
+	// the link has >20 dB of headroom; at B the chosen rate sits
+	// close to the error cliff.
+	snr, err := env.SNR(sys.ClientPos, sys.APPos)
+	if err != nil {
+		return nil, nil, err
+	}
+	const subBits = 400 // ≈ one-tick subframe, in bits
+	if mcs, err := phy.RobustMCS(snr/1.6, subBits, 0.9995); err == nil {
+		sys.Spec.MCS = mcs
+	} else {
+		mcs0, err := dot11.HTMCS(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys.Spec.MCS = mcs0
+	}
+	if err := sys.Reshape(); err != nil {
+		return nil, nil, err
+	}
+	// After the client calibrates, the minute's conditions drift:
+	// wall penetration wanders a few dB as doors, furniture and
+	// crowds move. With B's thin margin this drift is what pushes its
+	// bad minutes over the cliff — the tail of the paper's Figure 6.
+	if len(env.Walls) > 0 {
+		jitter := stats.Gaussian(ambRng, 0, 1.6)
+		if jitter > 2.2 {
+			jitter = 2.2
+		}
+		if jitter < -2.2 {
+			jitter = -2.2
+		}
+		env.Walls[0].AttenuationDb += jitter
+	}
+	return sys, env, nil
 }
 
 // Render prints the CDF series.

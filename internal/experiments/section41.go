@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"witag/internal/core"
 	"witag/internal/dot11"
 	"witag/internal/mac"
+	"witag/internal/sim"
 )
 
 // §4.1 throughput analysis: WiTAG sends one tag bit per subframe, so the
@@ -33,15 +35,24 @@ type Section41Result struct {
 // Section41Sweep computes the tag rate for single-stream HT MCS 0–7,
 // aggregate sizes 8–64, and 1–4-tick subframes.
 func Section41Sweep() (*Section41Result, error) {
-	res := &Section41Result{}
+	return Section41SweepCtx(context.Background(), 0)
+}
+
+// Section41SweepCtx is Section41Sweep with cancellation and an explicit
+// worker count (<= 0 means runtime.NumCPU()). The sweep is pure airtime
+// arithmetic — no Monte Carlo — so the runner fans the MCS rows.
+func Section41SweepCtx(ctx context.Context, workers int) (*Section41Result, error) {
 	src := dot11.MACAddr{2, 0, 0, 0, 0, 1}
 	dst := dot11.MACAddr{2, 0, 0, 0, 0, 2}
 	tick := 20 * time.Microsecond
-	for _, mcsIdx := range []int{0, 2, 4, 7} {
+	mcsIdxs := []int{0, 2, 4, 7}
+	perMCS, err := sim.Map(ctx, sim.Runner{Workers: workers}, len(mcsIdxs), func(ctx context.Context, i int) ([]Section41Row, error) {
+		mcsIdx := mcsIdxs[i]
 		mcs, err := dot11.HTMCS(mcsIdx)
 		if err != nil {
 			return nil, err
 		}
+		var rows []Section41Row
 		for _, total := range []int{8, 16, 32, 64} {
 			for _, ticks := range []int{1, 2, 4} {
 				spec := core.QuerySpec{
@@ -70,7 +81,7 @@ func Section41Sweep() (*Section41Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				res.Rows = append(res.Rows, Section41Row{
+				rows = append(rows, Section41Row{
 					MCSIndex:    mcsIdx,
 					Subframes:   total,
 					TicksPerSub: ticks,
@@ -80,6 +91,14 @@ func Section41Sweep() (*Section41Result, error) {
 				})
 			}
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Section41Result{}
+	for _, rows := range perMCS {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }

@@ -6,12 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"witag/internal/channel"
 	"witag/internal/core"
-	"witag/internal/stats"
+	"witag/internal/sim"
 )
 
 // TagGain is the calibrated effective reflection gain of the prototype tag
@@ -87,41 +87,15 @@ func NLoSTestbed(loc NLoSLocation, seed int64) (*core.System, *channel.Environme
 	return sys, env, nil
 }
 
-// RunStats is one measurement run's outcome.
-type RunStats struct {
-	BER           float64
-	Bits          int
-	Errors        int
-	DetectionRate float64
-	Airtime       time.Duration
-}
+// RunStats is one measurement run's outcome. The type lives in
+// internal/sim (the trial runner owns it); the alias keeps this package's
+// result structs and external callers source-compatible.
+type RunStats = sim.RunStats
 
 // MeasureRun performs rounds query rounds against sys, advancing the
 // environment (people walking) between rounds, and returns aggregate
-// statistics. Random tag data is drawn from seed.
+// statistics. Random tag data is drawn from seed. It is the
+// non-cancellable convenience form of sim.MeasureRun.
 func MeasureRun(sys *core.System, env *channel.Environment, rounds int, seed int64) (RunStats, error) {
-	rng := stats.NewRNG(seed)
-	var rs RunStats
-	detected := 0
-	for r := 0; r < rounds; r++ {
-		env.Advance(0.05)
-		bits := stats.RandomBits(rng, sys.Spec.DataLen)
-		res, err := sys.QueryRound(bits)
-		if err != nil {
-			return rs, err
-		}
-		rs.Errors += res.BitErrors
-		rs.Bits += len(res.TxBits)
-		rs.Airtime += res.Airtime
-		if res.Detected {
-			detected++
-		}
-	}
-	if rs.Bits > 0 {
-		rs.BER = float64(rs.Errors) / float64(rs.Bits)
-	}
-	if rounds > 0 {
-		rs.DetectionRate = float64(detected) / float64(rounds)
-	}
-	return rs, nil
+	return sim.MeasureRun(context.Background(), sys, env, rounds, seed)
 }

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner fans independent work items across a bounded pool of goroutines.
+// The zero value runs on runtime.NumCPU() workers.
+type Runner struct {
+	// Workers is the pool size; <= 0 means runtime.NumCPU().
+	Workers int
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Each runs fn(ctx, i) for every i in [0, n) across the pool and blocks
+// until all of them return. Indices are handed out by an atomic counter,
+// so workers stay busy regardless of per-item cost; fn must write any
+// output by index into caller-owned storage so the result is identical
+// for every worker count. The first error cancels the context passed to
+// the remaining calls and is the error returned.
+func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := r.workers()
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// RunTrials executes every trial on the pool and returns their stats in
+// trial order.
+func (r Runner) RunTrials(ctx context.Context, trials []Trial) ([]RunStats, error) {
+	return Map(ctx, r, len(trials), func(ctx context.Context, i int) (RunStats, error) {
+		return trials[i].Run(ctx)
+	})
+}
+
+// Map runs fn for each index on r's pool and collects the results in
+// index order.
+func Map[T any](ctx context.Context, r Runner, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := r.Each(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"witag/internal/channel"
+	"witag/internal/core"
+	"witag/internal/stats"
+)
+
+func TestEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		err := Runner{Workers: workers}.Each(context.Background(), n, func(_ context.Context, i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestEachZeroItems(t *testing.T) {
+	err := Runner{}.Each(context.Background(), 0, func(context.Context, int) error {
+		t.Fatal("fn called for empty batch")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachFirstErrorPropagatesAndCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int32
+	err := Runner{Workers: 4}.Each(context.Background(), 200, func(ctx context.Context, i int) error {
+		if i == 10 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Not asserting a count — scheduling-dependent — only that the pool
+	// did not deadlock and the first error surfaced.
+}
+
+func TestEachParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Runner{Workers: 2}.Each(ctx, 50, func(ctx context.Context, i int) error {
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	got, err := Map(context.Background(), Runner{Workers: 8}, 64, func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("item-%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != fmt.Sprintf("item-%d", i) {
+			t.Fatalf("index %d holds %q", i, v)
+		}
+	}
+}
+
+func TestMapErrorReturnsNil(t *testing.T) {
+	boom := errors.New("boom")
+	got, err := Map(context.Background(), Runner{Workers: 2}, 10, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || got != nil {
+		t.Fatalf("got %v, err %v", got, err)
+	}
+}
+
+// testTrial builds a minimal LoS deployment for trial-level tests.
+func testTrial(seed int64, rounds int) Trial {
+	return Trial{
+		Build: func() (*core.System, *channel.Environment, error) {
+			env := channel.NewEnvironment(seed)
+			env.AddReflector(channel.Point{X: 4, Y: 3.5}, 60)
+			env.AddScatterers(4, 0, -3, 8, 3, 15, 1.0)
+			sys, err := core.NewSystem(env,
+				channel.Point{X: 0, Y: 0}, channel.Point{X: 8, Y: 0},
+				channel.Point{X: 2, Y: 0.3}, 68, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys, env, nil
+		},
+		Rounds:   rounds,
+		DataSeed: stats.SubSeed(seed, "data"),
+	}
+}
+
+func TestRunTrialsDeterministicAcrossWorkerCounts(t *testing.T) {
+	trials := func() []Trial {
+		var ts []Trial
+		for i := 0; i < 6; i++ {
+			ts = append(ts, testTrial(stats.SubSeed(9, fmt.Sprintf("run=%d", i)), 30))
+		}
+		return ts
+	}
+	serial, err := Runner{Workers: 1}.RunTrials(context.Background(), trials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Workers: 6}.RunTrials(context.Background(), trials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("worker count changed results:\n1 worker: %+v\n6 workers: %+v", serial, parallel)
+	}
+	if serial[0].Bits == 0 || serial[0].Airtime <= 0 {
+		t.Fatalf("trial produced no measurement: %+v", serial[0])
+	}
+}
+
+func TestTrialBuildErrorPropagates(t *testing.T) {
+	boom := errors.New("bad build")
+	tr := Trial{
+		Build:  func() (*core.System, *channel.Environment, error) { return nil, nil, boom },
+		Rounds: 10,
+	}
+	if _, err := (Runner{}).RunTrials(context.Background(), []Trial{tr}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want build error", err)
+	}
+}
+
+func TestMeasureRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := testTrial(3, 1000)
+	sys, env, err := tr.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureRun(ctx, sys, env, 1000, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package sim is the shared Monte-Carlo trial runner behind every
+// experiment harness. A Trial builds one independent deployment (a
+// core.System plus its channel.Environment) and measures it for a fixed
+// number of query rounds; a Runner fans a batch of trials across a worker
+// pool with context cancellation and first-error propagation.
+//
+// The determinism contract: a trial's outcome is a pure function of what
+// its Build closure constructs and of its DataSeed. Trials share no
+// mutable state, every seed is derived from the experiment root via
+// labeled stats.SubSeed paths (never from worker identity, scheduling
+// order or the wall clock), and the Runner stores each result at its
+// trial's index. Results are therefore byte-identical whether the batch
+// runs on one worker or on runtime.NumCPU().
+package sim
+
+import (
+	"context"
+	"time"
+
+	"witag/internal/channel"
+	"witag/internal/core"
+	"witag/internal/stats"
+)
+
+// RunStats is one measurement run's outcome.
+type RunStats struct {
+	BER           float64
+	Bits          int
+	Errors        int
+	DetectionRate float64
+	Airtime       time.Duration
+}
+
+// Trial is one independent Monte-Carlo measurement.
+type Trial struct {
+	// Build constructs the fully-configured deployment for this trial. It
+	// runs on a worker goroutine, so it must derive everything it needs
+	// from values captured at construction time and share no mutable
+	// state with other trials.
+	Build func() (*core.System, *channel.Environment, error)
+	// Rounds is the number of query rounds to measure.
+	Rounds int
+	// DataSeed seeds the random tag payload bits.
+	DataSeed int64
+}
+
+// Run builds the deployment and measures it.
+func (t Trial) Run(ctx context.Context) (RunStats, error) {
+	sys, env, err := t.Build()
+	if err != nil {
+		return RunStats{}, err
+	}
+	return MeasureRun(ctx, sys, env, t.Rounds, t.DataSeed)
+}
+
+// MeasureRun performs rounds query rounds against sys, advancing the
+// environment (people walking) between rounds, and returns aggregate
+// statistics. Random tag data is drawn from seed. Cancelling ctx aborts
+// between rounds.
+func MeasureRun(ctx context.Context, sys *core.System, env *channel.Environment, rounds int, seed int64) (RunStats, error) {
+	rng := stats.NewRNG(seed)
+	var rs RunStats
+	detected := 0
+	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return rs, err
+		}
+		env.Advance(0.05)
+		bits := stats.RandomBits(rng, sys.Spec.DataLen)
+		res, err := sys.QueryRound(bits)
+		if err != nil {
+			return rs, err
+		}
+		rs.Errors += res.BitErrors
+		rs.Bits += len(res.TxBits)
+		rs.Airtime += res.Airtime
+		if res.Detected {
+			detected++
+		}
+	}
+	if rs.Bits > 0 {
+		rs.BER = float64(rs.Errors) / float64(rs.Bits)
+	}
+	if rounds > 0 {
+		rs.DetectionRate = float64(detected) / float64(rounds)
+	}
+	return rs, nil
+}

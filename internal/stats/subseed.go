@@ -1,0 +1,53 @@
+package stats
+
+// Labeled seed derivation. Experiment harnesses used to derive per-trial
+// seeds with ad-hoc arithmetic (`seed+7`, `seed + run*1000 + d*10`, ...),
+// which collides for nearby base seeds and couples trials that should be
+// independent. SubSeed replaces that arithmetic with a seed *tree*: every
+// consumer names its position in the tree with a path of labels, and the
+// derived seed is a strong hash of the root and the path. Two distinct
+// paths yield statistically independent seeds, and a trial's seed never
+// depends on how many other trials run or in what order — the property the
+// parallel trial runner (internal/sim) relies on for determinism.
+
+const (
+	splitmixGamma = 0x9e3779b97f4a7c15 // 2^64 / golden ratio
+	fnvOffset     = 14695981039346656037
+	fnvPrime      = 1099511628211
+)
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix whose
+// output passes BigCrush even on sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += splitmixGamma
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv1a hashes a label, folding in its length so that the label boundary
+// is part of the hash ("ab","c" never aliases "a","bc").
+func fnv1a(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	h ^= uint64(len(s))
+	h *= fnvPrime
+	return h
+}
+
+// SubSeed derives a child seed from root and a path of labels. The same
+// (root, labels...) always yields the same seed; any change to the root,
+// to a label, or to the path depth yields an unrelated seed. Use one
+// label per tree level, e.g.
+//
+//	stats.SubSeed(cfg.Seed, "fig5", "d=3", "run=7", "data")
+func SubSeed(root int64, labels ...string) int64 {
+	x := splitmix64(uint64(root))
+	for _, l := range labels {
+		x = splitmix64(x ^ fnv1a(l))
+	}
+	return int64(x)
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSubSeedDeterministic(t *testing.T) {
+	a := SubSeed(42, "fig5", "d=3", "run=7")
+	b := SubSeed(42, "fig5", "d=3", "run=7")
+	if a != b {
+		t.Fatalf("same path gave %d and %d", a, b)
+	}
+}
+
+func TestSubSeedLabelSensitivity(t *testing.T) {
+	base := SubSeed(1, "a")
+	for _, other := range []int64{
+		SubSeed(1, "b"),      // different label
+		SubSeed(2, "a"),      // different root
+		SubSeed(1, "a", "a"), // deeper path
+		SubSeed(1),           // shallower path
+		SubSeed(1, "A"),      // case matters
+		SubSeed(1, "a "),     // whitespace matters
+		SubSeed(base, "a"),   // child of the derived seed
+	} {
+		if other == base {
+			t.Fatalf("collision with SubSeed(1, %q): %d", "a", base)
+		}
+	}
+}
+
+func TestSubSeedPathBoundaries(t *testing.T) {
+	// Concatenation across label boundaries must not alias: ("ab","c")
+	// vs ("a","bc") vs ("abc").
+	x := SubSeed(7, "ab", "c")
+	y := SubSeed(7, "a", "bc")
+	z := SubSeed(7, "abc")
+	if x == y || y == z || x == z {
+		t.Fatalf("label boundaries alias: %d %d %d", x, y, z)
+	}
+	// Empty labels still advance the path.
+	if SubSeed(7, "") == SubSeed(7) {
+		t.Fatal("empty label did not advance the path")
+	}
+	if SubSeed(7, "", "") == SubSeed(7, "") {
+		t.Fatal("second empty label did not advance the path")
+	}
+}
+
+func TestSubSeedNoCollisionsOnGrid(t *testing.T) {
+	// 100 roots × 100 labels = 10⁴ derivations, all distinct. Nearby
+	// roots and structured labels are exactly the regime the old seed+k
+	// arithmetic collided in.
+	seen := make(map[int64][2]string, 100*100)
+	for r := 0; r < 100; r++ {
+		root := int64(r)
+		for l := 0; l < 100; l++ {
+			label := fmt.Sprintf("run=%d", l)
+			s := SubSeed(root, label)
+			key := [2]string{fmt.Sprint(root), label}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("SubSeed(%d, %q) == SubSeed(%s, %q) == %d", root, label, prev[0], prev[1], s)
+			}
+			seen[s] = key
+		}
+	}
+	if len(seen) != 100*100 {
+		t.Fatalf("expected 10000 distinct seeds, got %d", len(seen))
+	}
+}
+
+func TestSubSeedDeepPathsDistinct(t *testing.T) {
+	// A two-level tree mirroring how harnesses derive: root → distance →
+	// run → purpose. All leaves distinct.
+	seen := map[int64]bool{}
+	n := 0
+	for _, d := range []string{"d=1", "d=2", "d=3", "d=4"} {
+		for run := 0; run < 10; run++ {
+			for _, leaf := range []string{"", "data", "ambient"} {
+				labels := []string{"fig5", d, fmt.Sprintf("run=%d", run)}
+				if leaf != "" {
+					labels = append(labels, leaf)
+				}
+				s := SubSeed(42, labels...)
+				if seen[s] {
+					t.Fatalf("duplicate leaf seed %d at %v", s, labels)
+				}
+				seen[s] = true
+				n++
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("tree leaves collide: %d distinct of %d", len(seen), n)
+	}
+}
