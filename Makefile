@@ -1,12 +1,14 @@
-# Developer / CI entry points. `make check` is the gate: formatting, vet
-# and the full test suite under the race detector (the concurrent trial
-# runner in internal/sim must stay race-clean).
+# Developer / CI entry points. `make check` is the gate: formatting, vet,
+# the full test suite under the race detector (the concurrent trial runner
+# in internal/sim must stay race-clean), the codec fuzz seed corpus, and
+# the worker-count determinism contract.
 
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: check fmt vet test race bench build
+.PHONY: check fmt vet test race bench build fuzz fuzzseed determinism
 
-check: fmt vet race
+check: fmt vet race fuzzseed determinism
 
 build:
 	$(GO) build ./...
@@ -28,3 +30,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Time-boxed coverage-guided fuzzing of the frame codec; `make fuzzseed`
+# replays just the checked-in corpus (fast, deterministic — the CI form).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzCodecDecode -fuzztime=$(FUZZTIME) ./internal/core
+
+fuzzseed:
+	$(GO) test -run='^Fuzz' ./internal/core
+
+determinism:
+	$(GO) test -run='DeterministicAcrossWorkerCounts' ./internal/experiments

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	witag-bench [-experiment all|fig3|fig5|fig6|s41|compare|power|ablations]
+//	witag-bench [-experiment all|fig3|fig5|fig6|s41|compare|power|ablations|robustness]
 //	            [-seed N] [-runs N] [-rounds N] [-parallel N] [-json DIR]
+//	            [-fault PROFILE] [-transfers N]
 //
 // Scale note: "-rounds" stands in for the paper's one-minute measurement
 // windows; the defaults keep the full suite under a minute of wall time.
@@ -28,27 +29,31 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"witag/internal/experiments"
+	"witag/internal/fault"
 	"witag/internal/sim"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: all, fig3, fig5, fig6, s41, compare, power, ablations")
+		experiment = flag.String("experiment", "all", "which experiment to run: all, fig3, fig5, fig6, s41, compare, power, ablations, robustness")
 		seed       = flag.Int64("seed", 42, "root random seed")
 		runs       = flag.Int("runs", 4, "measurement repetitions (figure 5; figure 6 uses 60)")
 		rounds     = flag.Int("rounds", 700, "query rounds per measurement run")
 		parallel   = flag.Int("parallel", 0, "concurrent trial workers; <= 0 means all CPUs")
 		jsonDir    = flag.String("json", "", "directory to write BENCH_<name>.json series into (empty: off)")
+		faultProf  = flag.String("fault", "bursty", "fault profile for the robustness sweep: "+strings.Join(fault.Names(), ", "))
+		transfers  = flag.Int("transfers", 100, "transfers per sweep point per mode (robustness)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *experiment, *seed, *runs, *rounds, *parallel, *jsonDir); err != nil {
+	if err := run(ctx, *experiment, *seed, *runs, *rounds, *parallel, *jsonDir, *faultProf, *transfers); err != nil {
 		fmt.Fprintln(os.Stderr, "witag-bench:", err)
 		os.Exit(1)
 	}
@@ -69,7 +74,7 @@ func writeJSON(dir, name string, v any) error {
 	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(buf, '\n'), 0o644)
 }
 
-func run(ctx context.Context, experiment string, seed int64, runs, rounds, parallel int, jsonDir string) error {
+func run(ctx context.Context, experiment string, seed int64, runs, rounds, parallel int, jsonDir, faultProf string, transfers int) error {
 	all := experiment == "all"
 	any := false
 	runner := sim.Runner{Workers: parallel}
@@ -215,6 +220,25 @@ func run(ctx context.Context, experiment string, seed int64, runs, rounds, paral
 			ablationSeries[a.name] = res
 		}
 		if err := writeJSON(jsonDir, "ablations", ablationSeries); err != nil {
+			return err
+		}
+	}
+	if all || experiment == "robustness" {
+		any = true
+		cfg := experiments.DefaultRobustnessConfig()
+		cfg.Seed = seed
+		cfg.Workers = parallel
+		cfg.BaseProfile = faultProf
+		cfg.Transfers = transfers
+		res, err := experiments.RobustnessCtx(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := res.ShapeChecks(); err != nil {
+			return err
+		}
+		if err := writeJSON(jsonDir, "robustness", res); err != nil {
 			return err
 		}
 	}

@@ -7,6 +7,7 @@
 //	witag-sim -ap 8,0 -tag 2,0.3 -rounds 2000
 //	witag-sim -ap 17,0 -tag 1,0.3 -walls "3.5:7,9:9,13:6" -rounds 1000
 //	witag-sim -cipher ccmp -rounds 500
+//	witag-sim -fault bursty -rounds 1000      # burst interference injected
 //	witag-sim -runs 16 -parallel 8            # Monte-Carlo campaign
 //
 // With -runs N > 1 the deployment is measured N times with independent
@@ -30,6 +31,7 @@ import (
 	"witag/internal/core"
 	"witag/internal/crypto80211"
 	"witag/internal/experiments"
+	"witag/internal/fault"
 	"witag/internal/sim"
 	"witag/internal/stats"
 )
@@ -40,6 +42,7 @@ func main() {
 		tagFlag    = flag.String("tag", "1,0.3", "tag position as x,y metres")
 		wallsFlag  = flag.String("walls", "", "comma-separated x:attenuationDb vertical walls")
 		cipherFlag = flag.String("cipher", "open", "link cipher: open, wep, ccmp")
+		faultFlag  = flag.String("fault", "", "fault profile injecting burst interference: "+strings.Join(fault.Names(), ", ")+" (empty: clean channel)")
 		gain       = flag.Float64("gain", experiments.TagGain, "tag effective reflection gain")
 		rounds     = flag.Int("rounds", 1000, "query rounds per run")
 		runs       = flag.Int("runs", 1, "independent measurement runs")
@@ -54,7 +57,7 @@ func main() {
 
 	cfg := deployment{
 		apStr: *apFlag, tagStr: *tagFlag, wallsStr: *wallsFlag,
-		cipherStr: *cipherFlag, gain: *gain, tempC: *tempC,
+		cipherStr: *cipherFlag, faultStr: *faultFlag, gain: *gain, tempC: *tempC,
 	}
 	if err := run(ctx, cfg, *rounds, *runs, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "witag-sim:", err)
@@ -64,8 +67,8 @@ func main() {
 
 // deployment is the flag-specified scenario, buildable once per run.
 type deployment struct {
-	apStr, tagStr, wallsStr, cipherStr string
-	gain, tempC                        float64
+	apStr, tagStr, wallsStr, cipherStr, faultStr string
+	gain, tempC                                  float64
 }
 
 func parsePoint(s string) (channel.Point, error) {
@@ -141,6 +144,16 @@ func (d deployment) build(envSeed int64) (*core.System, *channel.Environment, er
 	default:
 		return nil, nil, fmt.Errorf("unknown cipher %q (open, wep, ccmp)", d.cipherStr)
 	}
+	if d.faultStr != "" {
+		prof, err := fault.Named(d.faultStr)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys.Faults, err = fault.NewInjector(prof, stats.SubSeed(envSeed, "fault"))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	if err := sys.Reshape(); err != nil {
 		return nil, nil, err
 	}
@@ -197,6 +210,14 @@ func run(ctx context.Context, cfg deployment, rounds, runs, parallel int, seed i
 	meanDet := stats.Mean(dets)
 
 	fmt.Printf("deployment: client (0,0), AP %v, tag %v, cipher %s\n", sys.APPos, sys.TagPos, cfg.cipherStr)
+	if cfg.faultStr != "" {
+		prof, err := fault.Named(cfg.faultStr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fault profile     : %s (mean subframe loss %.3f, %.1f%% of time in burst)\n",
+			cfg.faultStr, prof.AvgLoss(), 100*prof.BadFraction())
+	}
 	fmt.Printf("link SNR          : %.1f dB\n", 10*log10(snr))
 	fmt.Printf("query shape       : %d triggers + %d data subframes, %d tick(s)/subframe\n",
 		sys.Spec.TriggerLen, sys.Spec.DataLen, sys.Spec.TicksPerSubframe)

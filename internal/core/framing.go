@@ -11,6 +11,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"witag/internal/bitio"
@@ -80,14 +81,14 @@ func (c Codec) Decode(bits []byte) (payload []byte, corrected int, err error) {
 		frame = bitio.BitsToBytes(deint[:len(deint)/8*8])
 	}
 	if len(frame) < 4 {
-		return nil, corrected, fmt.Errorf("core: frame too short: %d bytes", len(frame))
+		return nil, corrected, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(frame))
 	}
 	if frame[0] != SyncByte {
-		return nil, corrected, fmt.Errorf("core: bad sync byte 0x%02x", frame[0])
+		return nil, corrected, fmt.Errorf("%w: 0x%02x", ErrBadSync, frame[0])
 	}
 	n := int(frame[1])
 	if len(frame) < n+4 {
-		return nil, corrected, fmt.Errorf("core: LEN says %d payload bytes but frame has only %d", n, len(frame)-4)
+		return nil, corrected, fmt.Errorf("%w: LEN says %d payload bytes but frame has only %d", ErrLenMismatch, n, len(frame)-4)
 	}
 	frame = frame[:n+4] // strip interleaver padding bytes
 	wantCRC := uint16(frame[n+2])<<8 | uint16(frame[n+3])
@@ -97,9 +98,31 @@ func (c Codec) Decode(bits []byte) (payload []byte, corrected int, err error) {
 	return append([]byte(nil), frame[2:n+2]...), corrected, nil
 }
 
-// ErrFrameCRC reports a tag-data frame whose CRC-16 failed — residual
-// errors the FEC could not repair.
-var ErrFrameCRC = fmt.Errorf("core: tag frame CRC mismatch")
+// Decode failure classes, distinguishable with errors.Is so an ARQ layer
+// can tell framing loss ("resync and re-query") from residual corruption
+// inside a well-framed stream (a coding-escalation signal).
+var (
+	// ErrFrameCRC reports a tag-data frame whose CRC-16 failed — residual
+	// errors the FEC could not repair.
+	ErrFrameCRC = errors.New("core: tag frame CRC mismatch")
+	// ErrBadSync reports a frame whose first byte is not SyncByte: the
+	// receiver is not aligned to a frame at all.
+	ErrBadSync = errors.New("core: bad sync byte")
+	// ErrShortFrame reports a bit stream too short to hold even the
+	// SYNC/LEN/CRC skeleton.
+	ErrShortFrame = errors.New("core: frame too short")
+	// ErrLenMismatch reports a LEN field promising more payload than the
+	// received stream carries — a corrupted length or a truncated read.
+	ErrLenMismatch = errors.New("core: frame length mismatch")
+)
+
+// DesyncError reports whether a Decode failure indicates the receiver
+// lost frame alignment (re-query from the top) rather than residual
+// in-frame corruption (ErrFrameCRC, uncorrectable FEC) that adaptive
+// coding can address.
+func DesyncError(err error) bool {
+	return errors.Is(err, ErrBadSync) || errors.Is(err, ErrShortFrame) || errors.Is(err, ErrLenMismatch)
+}
 
 // EncodedBits returns the number of tag bits (subframes) Encode will emit
 // for a payload of n bytes.

@@ -9,6 +9,7 @@ import (
 	"witag/internal/channel"
 	"witag/internal/crypto80211"
 	"witag/internal/dot11"
+	"witag/internal/fault"
 	"witag/internal/mac"
 	"witag/internal/phy"
 	"witag/internal/stats"
@@ -45,6 +46,12 @@ type System struct {
 	// this is that floor, and it is what puts the ≈0.01 BER floor under
 	// Figure 5.
 	AmbientLossProb float64
+	// Faults, when non-nil, replaces the i.i.d. AmbientLossProb floor
+	// with the injector's Gilbert–Elliott burst process and adds
+	// trigger-miss, block-ACK-loss and tag-brownout events. QueryRound
+	// consumes the injector's hooks in a fixed order (see package fault)
+	// so the fault stream is reproducible from the injector's seed alone.
+	Faults *fault.Injector
 
 	rng *rand.Rand
 }
@@ -122,10 +129,14 @@ func (s *System) cipherOverhead() int {
 // RoundResult reports one query round.
 type RoundResult struct {
 	TxBits    []byte // bits the tag attempted to send
-	RxBits    []byte // bits the client read from the block ACK
+	RxBits    []byte // bits the client read from the block ACK; nil when BALost
 	Detected  bool   // did the tag see the trigger?
 	BitErrors int
 	Airtime   time.Duration
+	// BALost reports an injected block-ACK loss: the round went on the
+	// air (Airtime is charged) but the client read nothing, so every tag
+	// bit is unknown and counted as an error.
+	BALost bool
 	// Diagnostics
 	SNRDb        float64 // client→AP link SNR
 	DistortionDb float64 // tag-induced distortion power (10·log10 D)
@@ -184,6 +195,18 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Injected faults draw in a fixed order regardless of the round's
+	// outcome, so the fault stream depends only on the injector seed.
+	var brownStart, brownLen int
+	baLost := false
+	if s.Faults != nil {
+		if s.Faults.TriggerMissed() {
+			detected = false
+		}
+		if start, length, active := s.Faults.BrownoutWindow(s.Spec.DataLen); active {
+			brownStart, brownLen = start, length
+		}
+	}
 
 	// --- Channel states. ---
 	restCoeff, err := s.Tag.ReflectionFor(false)
@@ -219,6 +242,11 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A browned-out switch freezes in its rest state: the window's
+		// subframes go uncorrupted and read as idle 1s at the client.
+		for i := brownStart; i < brownStart+brownLen; i++ {
+			coverage[i] = 0
+		}
 	}
 
 	// --- AP side: per-subframe decode, scoreboard, block ACK. ---
@@ -236,7 +264,13 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ok && stats.Bernoulli(s.rng, s.AmbientLossProb) {
+		if s.Faults != nil {
+			// The burst chain steps every subframe so its dwell times are
+			// real time, not conditioned on decode outcomes.
+			if s.Faults.SubframeLost() {
+				ok = false
+			}
+		} else if ok && stats.Bernoulli(s.rng, s.AmbientLossProb) {
 			ok = false // lost to interference outside the model
 		}
 		if ok {
@@ -246,24 +280,32 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 		}
 	}
 	ba := sb.BlockAck(s.Scheduler.Src, s.Scheduler.Dst, 0)
-
-	// --- Client side: read tag bits out of the bitmap. ---
-	allBits, err := ba.BitmapBits(s.Spec.TriggerLen + s.Spec.DataLen)
-	if err != nil {
-		return nil, err
+	if s.Faults != nil && s.Faults.BALost() {
+		baLost = true
 	}
-	rxBits := allBits[s.Spec.TriggerLen:]
 
 	res := &RoundResult{
 		TxBits:       txBits,
-		RxBits:       rxBits,
 		Detected:     detected,
+		BALost:       baLost,
 		SNRDb:        phy.SNRToDb(snr),
 		DistortionDb: 10 * math.Log10(math.Max(distortion, 1e-30)),
 	}
-	for i := range txBits {
-		if txBits[i] != rxBits[i] {
-			res.BitErrors++
+	if baLost {
+		// The client never heard the block ACK: no bitmap, every tag bit
+		// of the round unknown.
+		res.BitErrors = len(txBits)
+	} else {
+		// --- Client side: read tag bits out of the bitmap. ---
+		allBits, err := ba.BitmapBits(s.Spec.TriggerLen + s.Spec.DataLen)
+		if err != nil {
+			return nil, err
+		}
+		res.RxBits = allBits[s.Spec.TriggerLen:]
+		for i := range txBits {
+			if txBits[i] != res.RxBits[i] {
+				res.BitErrors++
+			}
 		}
 	}
 

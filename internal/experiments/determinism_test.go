@@ -98,3 +98,27 @@ func TestFigure3DeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	assertIdentical(t, serial.Points, parallel.Points, serial.Render(), parallel.Render())
 }
+
+func TestRobustnessDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The link layer's retry/backoff loop draws only from labeled SubSeed
+	// RNGs, so whole transfers — including jittered backoff waits — must be
+	// byte-identical for every worker count.
+	cfg := RobustnessConfig{
+		Seed:          11,
+		PayloadBytes:  48,
+		Transfers:     6,
+		BaseProfile:   "bursty",
+		LossBadPoints: []float64{0.6, 0.95},
+	}
+	cfg.Workers = 1
+	serial, err := Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = manyWorkers()
+	parallel, err := Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, serial, parallel, serial.Render(), parallel.Render())
+}

@@ -254,3 +254,48 @@ func TestAblationEncryption(t *testing.T) {
 		t.Fatal("CCMP's MPDU expansion should cost offered rate")
 	}
 }
+
+func TestRobustnessSweepShape(t *testing.T) {
+	cfg := DefaultRobustnessConfig()
+	cfg.Transfers = 25 // reduced scale; witag-bench runs 100
+	res, err := Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ShapeChecks(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.LossBadPoints) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The acceptance claim, stated directly: some burst intensity where the
+	// ARQ transfer holds ≥99% delivery while the single-shot baseline is
+	// under 50%.
+	hit := false
+	for _, p := range res.Points {
+		if p.ARQDelivery >= 0.99 && p.BaselineDelivery < 0.5 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no crossover point:\n%s", res.Render())
+	}
+}
+
+func TestRobustnessConfigValidation(t *testing.T) {
+	cfg := DefaultRobustnessConfig()
+	cfg.PayloadBytes = 0
+	if _, err := Robustness(cfg); err == nil {
+		t.Fatal("zero payload accepted")
+	}
+	cfg = DefaultRobustnessConfig()
+	cfg.BaseProfile = "nonesuch"
+	if _, err := Robustness(cfg); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	cfg = DefaultRobustnessConfig()
+	cfg.LossBadPoints = nil
+	if _, err := Robustness(cfg); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}

@@ -1,0 +1,302 @@
+package link
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"witag/internal/channel"
+	"witag/internal/core"
+	"witag/internal/fault"
+	"witag/internal/stats"
+)
+
+func TestSplitRanges(t *testing.T) {
+	segs := splitRanges([]segment{{0, 64}}, 24)
+	want := []segment{{0, 24}, {24, 48}, {48, 64}}
+	if !reflect.DeepEqual(segs, want) {
+		t.Fatalf("split = %v", segs)
+	}
+	// Re-splitting a pending range preserves its offsets.
+	segs = splitRanges([]segment{{24, 48}}, 8)
+	want = []segment{{24, 32}, {32, 40}, {40, 48}}
+	if !reflect.DeepEqual(segs, want) {
+		t.Fatalf("re-split = %v", segs)
+	}
+	// Degenerate chunk sizes clamp rather than loop forever.
+	if got := splitRanges([]segment{{0, 3}}, 0); len(got) != 3 {
+		t.Fatalf("chunk 0 → %v", got)
+	}
+}
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	payload := stats.RandomBytes(stats.NewRNG(1), 300)
+	fp := buildFrame(payload, segment{256, 300})
+	off, total, chunk, err := parseFrame(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 256 || total != 300 || !bytes.Equal(chunk, payload[256:300]) {
+		t.Fatalf("parsed off=%d total=%d len=%d", off, total, len(chunk))
+	}
+	if _, _, _, err := parseFrame([]byte{0, 1}); err == nil {
+		t.Fatal("short frame payload accepted")
+	}
+	// Header promising a chunk past the transfer end must be rejected.
+	bad := buildFrame(payload, segment{256, 300})
+	bad[2], bad[3] = 0, 10 // total = 10 < off
+	if _, _, _, err := parseFrame(bad); err == nil {
+		t.Fatal("overrunning chunk accepted")
+	}
+}
+
+func TestReassembler(t *testing.T) {
+	payload := stats.RandomBytes(stats.NewRNG(2), 50)
+	r := &Reassembler{}
+	if r.Missing() != -1 {
+		t.Fatal("length known before any frame")
+	}
+	if _, err := r.Payload(); err == nil {
+		t.Fatal("empty reassembly delivered")
+	}
+	// Out of order, with a duplicate.
+	for _, seg := range []segment{{30, 50}, {0, 10}, {30, 50}, {10, 30}} {
+		if err := r.Add(seg.start, 50, payload[seg.start:seg.end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := r.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reassembly mismatch")
+	}
+	if err := r.Add(0, 49, payload[:10]); err == nil {
+		t.Fatal("conflicting transfer length accepted")
+	}
+	if err := r.Add(45, 50, payload[40:]); err == nil {
+		t.Fatal("chunk past transfer end accepted")
+	}
+}
+
+func TestCodingControllerEscalatesAndRelaxes(t *testing.T) {
+	cc, err := NewCodingController(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCodingController(99); err == nil {
+		t.Fatal("out-of-ladder start accepted")
+	}
+	// Failures escalate one rung at a time, to the top and no further.
+	for i := 0; i < 100; i++ {
+		cc.Observe(false)
+	}
+	if cc.Index() != len(cc.Ladder)-1 {
+		t.Fatalf("after sustained failure at rung %d, want top", cc.Index())
+	}
+	top := cc.Level()
+	if !top.Codec.FEC || top.Codec.InterleaveDepth < 16 || top.SegBytes >= DefaultLadder()[0].SegBytes {
+		t.Fatalf("top rung not the heaviest protection: %+v", top)
+	}
+	// Sustained success relaxes all the way back down — additively, so it
+	// takes at least RelaxAfter frames per rung.
+	steps := 0
+	for cc.Index() > 0 && steps < 10_000 {
+		cc.Observe(true)
+		steps++
+	}
+	if cc.Index() != 0 {
+		t.Fatal("sustained success never relaxed to rung 0")
+	}
+	if steps < cc.RelaxAfter*(len(cc.Ladder)-1) {
+		t.Fatalf("relaxed in %d frames — faster than one rung per %d clean frames", steps, cc.RelaxAfter)
+	}
+}
+
+func TestFixedControllerNeverMoves(t *testing.T) {
+	cc := NewFixedController(Level{Codec: core.Codec{FEC: true}, SegBytes: 32})
+	for i := 0; i < 50; i++ {
+		cc.Observe(i%2 == 0)
+	}
+	if cc.Index() != 0 || !cc.Level().Codec.FEC {
+		t.Fatal("fixed controller moved")
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	tr := &Transferer{Policy: Policy{BackoffBase: time.Millisecond, BackoffCap: 8 * time.Millisecond}}
+	var prev time.Duration
+	for n := 1; n <= 6; n++ {
+		d := tr.backoff(n)
+		if d < prev {
+			t.Fatalf("backoff shrank at n=%d: %v < %v", n, d, prev)
+		}
+		if d > 8*time.Millisecond {
+			t.Fatalf("backoff %v exceeds cap", d)
+		}
+		prev = d
+	}
+	if tr.backoff(6) != 8*time.Millisecond {
+		t.Fatalf("deep backoff %v, want the cap", tr.backoff(6))
+	}
+	// Jitter draws from the labeled RNG only, so it reproduces.
+	a := NewTransferer(nil, nil, Policy{BackoffBase: time.Millisecond, BackoffCap: 8 * time.Millisecond, JitterFrac: 0.25}, nil, stats.SubSeed(1, "arq"))
+	b := NewTransferer(nil, nil, a.Policy, nil, stats.SubSeed(1, "arq"))
+	for n := 1; n < 8; n++ {
+		if a.backoff(n) != b.backoff(n) {
+			t.Fatal("jittered backoff not reproducible from its seed")
+		}
+	}
+}
+
+// linkTestbed builds the LoS room with the tag 1 m from the client.
+func linkTestbed(t *testing.T, seed int64) (*core.System, *channel.Environment) {
+	t.Helper()
+	env := channel.NewEnvironment(seed)
+	env.AddReflector(channel.Point{X: 4, Y: 3.5}, 60)
+	env.AddReflector(channel.Point{X: 4, Y: -3.5}, 60)
+	env.AddScatterers(4, 0, -3, 8, 3, 15, 1.0)
+	sys, err := core.NewSystem(env,
+		channel.Point{X: 0, Y: 0}, channel.Point{X: 8, Y: 0},
+		channel.Point{X: 1, Y: 0.3}, 68, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, env
+}
+
+func TestTransferCleanChannel(t *testing.T) {
+	sys, env := linkTestbed(t, 5)
+	cc, _ := NewCodingController(0)
+	tr := NewTransferer(sys, env, DefaultPolicy(), cc, stats.SubSeed(5, "arq"))
+	payload := stats.RandomBytes(stats.NewRNG(stats.SubSeed(5, "payload")), 64)
+	st, err := tr.Send(context.Background(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Delivered {
+		t.Fatalf("clean-channel transfer failed: %+v", st)
+	}
+	if !bytes.Equal(st.Received, payload) {
+		t.Fatal("delivered payload differs")
+	}
+	if st.GoodputBps() <= 0 {
+		t.Fatal("no goodput accounted")
+	}
+	if st.Rounds < 2 {
+		t.Fatalf("64-byte payload needed %d rounds — segmentation broken?", st.Rounds)
+	}
+}
+
+func TestTransferDeliversUnderBurstFaults(t *testing.T) {
+	p, err := fault.Named("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LossBad = 0.9
+	sys, env := linkTestbed(t, 9)
+	sys.Faults, err = fault.NewInjector(p, stats.SubSeed(9, "fault"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, _ := NewCodingController(0)
+	tr := NewTransferer(sys, env, DefaultPolicy(), cc, stats.SubSeed(9, "arq"))
+	payload := stats.RandomBytes(stats.NewRNG(stats.SubSeed(9, "payload")), 64)
+	st, err := tr.Send(context.Background(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Delivered {
+		t.Fatalf("ARQ transfer failed under faults: %+v", st)
+	}
+	if !bytes.Equal(st.Received, payload) {
+		t.Fatal("ARQ delivered a wrong payload — the CRC layer must make this impossible")
+	}
+	if st.Retries == 0 {
+		t.Fatal("burst faults produced zero retries — injector inert?")
+	}
+	if st.FinalLevel == 0 && st.ResidualErrors > 0 {
+		t.Fatalf("frame errors observed (%d) but the controller never escalated", st.ResidualErrors)
+	}
+}
+
+func TestNoARQBaselineFailsWhereARQSucceeds(t *testing.T) {
+	p, err := fault.Named("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LossBad = 0.9
+	payload := stats.RandomBits(stats.NewRNG(stats.SubSeed(3, "payload")), 64)
+	run := func(budget int) *Stats {
+		sys, env := linkTestbed(t, 3)
+		var ferr error
+		sys.Faults, ferr = fault.NewInjector(p, stats.SubSeed(3, "fault"))
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		var cc *CodingController
+		if budget == 0 {
+			cc = NewFixedController(DefaultLadder()[1])
+		} else {
+			cc, _ = NewCodingController(0)
+		}
+		pol := DefaultPolicy()
+		pol.RetryBudget = budget
+		st, err := NewTransferer(sys, env, pol, cc, stats.SubSeed(3, "arq")).Send(context.Background(), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if st := run(0); st.Delivered {
+		t.Skip("baseline survived this seed; the robustness experiment asserts the aggregate claim")
+	}
+	if st := run(96); !st.Delivered {
+		t.Fatalf("ARQ failed where the paired baseline failed too: %+v", st)
+	}
+}
+
+func TestTransferDeterministicFromSeeds(t *testing.T) {
+	p, err := fault.Named("harsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Stats {
+		sys, env := linkTestbed(t, 17)
+		var ferr error
+		sys.Faults, ferr = fault.NewInjector(p, stats.SubSeed(17, "fault"))
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		cc, _ := NewCodingController(0)
+		tr := NewTransferer(sys, env, DefaultPolicy(), cc, stats.SubSeed(17, "arq"))
+		st, err := tr.Send(context.Background(), stats.RandomBytes(stats.NewRNG(stats.SubSeed(17, "payload")), 48))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seeds, different transfers:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	sys, env := linkTestbed(t, 5)
+	cc, _ := NewCodingController(0)
+	tr := NewTransferer(sys, env, DefaultPolicy(), cc, 1)
+	if _, err := tr.Send(context.Background(), nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := tr.Send(context.Background(), make([]byte, MaxTransfer+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.Send(ctx, []byte{1}); err == nil {
+		t.Fatal("cancelled context ignored")
+	}
+}
