@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet test race bench build fuzz fuzzseed determinism
+.PHONY: check fmt vet test race bench build cover fuzz fuzzseed determinism
 
 check: fmt vet race fuzzseed determinism
 
@@ -28,8 +28,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmarks across all packages in benchstat-compatible form, archived to
+# bench.txt so successive runs can be compared (`benchstat old.txt bench.txt`).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | tee bench.txt
+
+# Whole-repo coverage profile plus the one-line total.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
 
 # Time-boxed coverage-guided fuzzing of the frame codec; `make fuzzseed`
 # replays just the checked-in corpus (fast, deterministic — the CI form).
@@ -39,5 +46,8 @@ fuzz:
 fuzzseed:
 	$(GO) test -run='^Fuzz' ./internal/core
 
+# The worker-count determinism contract, for results AND for the
+# observability layer: metrics snapshots must be identical for 1 vs N
+# workers, and attaching instrumentation must not change any output.
 determinism:
-	$(GO) test -run='DeterministicAcrossWorkerCounts' ./internal/experiments
+	$(GO) test -run='DeterministicAcrossWorkerCounts|MetricsIdenticalAcrossWorkerCounts|InstrumentationDoesNotPerturbResults' ./internal/experiments ./internal/sim

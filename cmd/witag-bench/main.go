@@ -7,6 +7,7 @@
 //	witag-bench [-experiment all|fig3|fig5|fig6|s41|compare|power|ablations|robustness]
 //	            [-seed N] [-runs N] [-rounds N] [-parallel N] [-json DIR]
 //	            [-fault PROFILE] [-transfers N]
+//	            [-metrics-addr HOST:PORT] [-trace FILE] [-trace-cap N] [-progress]
 //
 // Scale note: "-rounds" stands in for the paper's one-minute measurement
 // windows; the defaults keep the full suite under a minute of wall time.
@@ -18,7 +19,20 @@
 //
 // With -json DIR, each experiment additionally writes its series as
 // machine-readable BENCH_<name>.json under DIR, so successive runs (and
-// future PRs) can diff trajectories instead of parsing tables.
+// future PRs) can diff trajectories instead of parsing tables — plus a
+// BENCH_<name>.metrics.json holding the experiment's metrics-registry
+// delta (rounds, subframe verdicts, faults injected, ARQ activity).
+//
+// Observability (all opt-in, none changes any result byte):
+//
+//	-metrics-addr :9090   serve Prometheus text at /metrics, expvar JSON at
+//	                      /debug/vars and net/http/pprof at /debug/pprof/
+//	                      for the lifetime of the run (":0" picks a port,
+//	                      printed on stderr)
+//	-trace trace.jsonl    record structured per-round/per-transfer events
+//	                      into a bounded ring (-trace-cap events) and write
+//	                      them as JSONL on exit
+//	-progress             live trials/sec and ETA on stderr
 package main
 
 import (
@@ -34,26 +48,58 @@ import (
 
 	"witag/internal/experiments"
 	"witag/internal/fault"
+	"witag/internal/obs"
 	"witag/internal/sim"
 )
 
+// experimentNames lists every -experiment value, in run order.
+var experimentNames = []string{"all", "fig3", "fig5", "fig6", "s41", "compare", "power", "ablations", "robustness"}
+
+func knownExperiment(name string) bool {
+	for _, n := range experimentNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+type benchConfig struct {
+	experiment string
+	seed       int64
+	runs       int
+	rounds     int
+	parallel   int
+	jsonDir    string
+	faultProf  string
+	transfers  int
+
+	metricsAddr string
+	tracePath   string
+	traceCap    int
+	progress    bool
+}
+
 func main() {
-	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: all, fig3, fig5, fig6, s41, compare, power, ablations, robustness")
-		seed       = flag.Int64("seed", 42, "root random seed")
-		runs       = flag.Int("runs", 4, "measurement repetitions (figure 5; figure 6 uses 60)")
-		rounds     = flag.Int("rounds", 700, "query rounds per measurement run")
-		parallel   = flag.Int("parallel", 0, "concurrent trial workers; <= 0 means all CPUs")
-		jsonDir    = flag.String("json", "", "directory to write BENCH_<name>.json series into (empty: off)")
-		faultProf  = flag.String("fault", "bursty", "fault profile for the robustness sweep: "+strings.Join(fault.Names(), ", "))
-		transfers  = flag.Int("transfers", 100, "transfers per sweep point per mode (robustness)")
-	)
+	var cfg benchConfig
+	flag.StringVar(&cfg.experiment, "experiment", "all", "which experiment to run: "+strings.Join(experimentNames, ", "))
+	flag.Int64Var(&cfg.seed, "seed", 42, "root random seed")
+	flag.IntVar(&cfg.runs, "runs", 4, "measurement repetitions (figure 5; figure 6 uses 60)")
+	flag.IntVar(&cfg.rounds, "rounds", 700, "query rounds per measurement run")
+	flag.IntVar(&cfg.parallel, "parallel", 0, "concurrent trial workers; <= 0 means all CPUs")
+	flag.StringVar(&cfg.jsonDir, "json", "", "directory to write BENCH_<name>.json series into (empty: off)")
+	flag.StringVar(&cfg.faultProf, "fault", "bursty", "fault profile for the robustness sweep: "+strings.Join(fault.Names(), ", "))
+	flag.IntVar(&cfg.transfers, "transfers", 100, "transfers per sweep point per mode (robustness)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run (empty: off)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write per-round/per-transfer trace events as JSONL to this file (empty: off)")
+	flag.IntVar(&cfg.traceCap, "trace-cap", obs.DefaultTraceCap, "trace ring capacity in events; oldest events are dropped beyond it")
+	flag.BoolVar(&cfg.progress, "progress", false, "live trial progress (rate, ETA) on stderr")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *experiment, *seed, *runs, *rounds, *parallel, *jsonDir, *faultProf, *transfers); err != nil {
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "witag-bench:", err)
 		os.Exit(1)
 	}
@@ -74,13 +120,94 @@ func writeJSON(dir, name string, v any) error {
 	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(buf, '\n'), 0o644)
 }
 
-func run(ctx context.Context, experiment string, seed int64, runs, rounds, parallel int, jsonDir, faultProf string, transfers int) error {
-	all := experiment == "all"
-	any := false
-	runner := sim.Runner{Workers: parallel}
+// writeMetricsJSON emits one experiment's metrics-registry delta as
+// BENCH_<name>.metrics.json next to its series file.
+func writeMetricsJSON(dir, name string, snap obs.Snapshot) error {
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".metrics.json"), append(buf, '\n'), 0o644)
+}
 
-	if all || experiment == "fig3" {
-		any = true
+func run(ctx context.Context, cfg benchConfig) error {
+	// Satellite contract: reject unknown selector values before any work,
+	// naming the valid choices — a typo must not silently run nothing.
+	if !knownExperiment(cfg.experiment) {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", cfg.experiment, strings.Join(experimentNames, ", "))
+	}
+	if _, err := fault.Named(cfg.faultProf); err != nil {
+		return err // fault.Named lists the valid profile names
+	}
+
+	// Observability wiring: one registry + optional trace ring for the
+	// whole run, installed as the experiments-package observer so every
+	// system, injector, transferer and runner the harnesses build is
+	// instrumented. Attaching it draws no RNG values and changes no
+	// output byte.
+	reg := obs.NewRegistry()
+	var trace *obs.Recorder
+	if cfg.tracePath != "" {
+		trace = obs.NewRecorder(cfg.traceCap)
+	}
+	observer := obs.NewObserver(reg, trace)
+	defer experiments.SetObserver(experiments.SetObserver(observer))
+	var progress *obs.Progress
+	if cfg.progress {
+		progress = obs.NewProgress(os.Stderr, "trials")
+		defer progress.Finish()
+	}
+	defer experiments.SetProgress(experiments.SetProgress(progress))
+
+	if cfg.metricsAddr != "" {
+		srv, err := obs.Serve(cfg.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+	}
+	if cfg.tracePath != "" {
+		defer func() {
+			f, err := os.Create(cfg.tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "witag-bench: trace:", err)
+				return
+			}
+			defer f.Close()
+			if err := trace.WriteJSONL(f); err != nil {
+				fmt.Fprintln(os.Stderr, "witag-bench: trace:", err)
+				return
+			}
+			if d := trace.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s (%d older events dropped; raise -trace-cap)\n", trace.Len(), cfg.tracePath, d)
+			} else {
+				fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", trace.Len(), cfg.tracePath)
+			}
+		}()
+	}
+
+	// emit writes an experiment's series plus the metrics-registry delta
+	// accumulated since the previous experiment finished.
+	lastSnap := reg.Snapshot()
+	emit := func(name string, v any) error {
+		if cfg.jsonDir == "" {
+			return nil
+		}
+		if err := writeJSON(cfg.jsonDir, name, v); err != nil {
+			return err
+		}
+		now := reg.Snapshot()
+		err := writeMetricsJSON(cfg.jsonDir, name, now.Delta(lastSnap))
+		lastSnap = now
+		return err
+	}
+
+	all := cfg.experiment == "all"
+	seed, runs, rounds, parallel := cfg.seed, cfg.runs, cfg.rounds, cfg.parallel
+	runner := sim.Runner{Workers: parallel, Obs: observer, Progress: progress}
+
+	if all || cfg.experiment == "fig3" {
 		res, err := experiments.Figure3Ctx(ctx, seed, parallel)
 		if err != nil {
 			return err
@@ -89,12 +216,11 @@ func run(ctx context.Context, experiment string, seed int64, runs, rounds, paral
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := writeJSON(jsonDir, "fig3", res); err != nil {
+		if err := emit("fig3", res); err != nil {
 			return err
 		}
 	}
-	if all || experiment == "fig5" {
-		any = true
+	if all || cfg.experiment == "fig5" {
 		res, err := experiments.Figure5Ctx(ctx, experiments.Figure5Config{Seed: seed, Runs: runs, Round: rounds, Workers: parallel})
 		if err != nil {
 			return err
@@ -103,25 +229,24 @@ func run(ctx context.Context, experiment string, seed int64, runs, rounds, paral
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := writeJSON(jsonDir, "fig5", res); err != nil {
+		if err := emit("fig5", res); err != nil {
 			return err
 		}
 	}
-	if all || experiment == "fig6" {
-		any = true
-		cfg := experiments.DefaultFigure6Config()
-		cfg.Seed = seed
-		cfg.Workers = parallel
-		cfg.Round = rounds / 2
-		if cfg.Round < 10 {
-			cfg.Round = 10
+	if all || cfg.experiment == "fig6" {
+		fcfg := experiments.DefaultFigure6Config()
+		fcfg.Seed = seed
+		fcfg.Workers = parallel
+		fcfg.Round = rounds / 2
+		if fcfg.Round < 10 {
+			fcfg.Round = 10
 		}
-		a, err := experiments.Figure6Ctx(ctx, experiments.LocationA, cfg)
+		a, err := experiments.Figure6Ctx(ctx, experiments.LocationA, fcfg)
 		if err != nil {
 			return err
 		}
-		cfg.Seed = seed + 1
-		b, err := experiments.Figure6Ctx(ctx, experiments.LocationB, cfg)
+		fcfg.Seed = seed + 1
+		b, err := experiments.Figure6Ctx(ctx, experiments.LocationB, fcfg)
 		if err != nil {
 			return err
 		}
@@ -139,12 +264,11 @@ func run(ctx context.Context, experiment string, seed int64, runs, rounds, paral
 		series := func(r *experiments.Figure6Result) locSeries {
 			return locSeries{Location: string(rune(r.Location)), RunBERs: r.RunBERs, P50: r.P50, P90: r.P90}
 		}
-		if err := writeJSON(jsonDir, "fig6", map[string]locSeries{"A": series(a), "B": series(b)}); err != nil {
+		if err := emit("fig6", map[string]locSeries{"A": series(a), "B": series(b)}); err != nil {
 			return err
 		}
 	}
-	if all || experiment == "s41" {
-		any = true
+	if all || cfg.experiment == "s41" {
 		res, err := experiments.Section41SweepCtx(ctx, parallel)
 		if err != nil {
 			return err
@@ -153,12 +277,11 @@ func run(ctx context.Context, experiment string, seed int64, runs, rounds, paral
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := writeJSON(jsonDir, "s41", res); err != nil {
+		if err := emit("s41", res); err != nil {
 			return err
 		}
 	}
-	if all || experiment == "compare" {
-		any = true
+	if all || cfg.experiment == "compare" {
 		res, err := experiments.PriorSystemComparison(seed)
 		if err != nil {
 			return err
@@ -167,12 +290,11 @@ func run(ctx context.Context, experiment string, seed int64, runs, rounds, paral
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := writeJSON(jsonDir, "compare", res); err != nil {
+		if err := emit("compare", res); err != nil {
 			return err
 		}
 	}
-	if all || experiment == "power" {
-		any = true
+	if all || cfg.experiment == "power" {
 		res, err := experiments.Section7PowerCtx(ctx, runner, seed)
 		if err != nil {
 			return err
@@ -181,12 +303,11 @@ func run(ctx context.Context, experiment string, seed int64, runs, rounds, paral
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := writeJSON(jsonDir, "power", res); err != nil {
+		if err := emit("power", res); err != nil {
 			return err
 		}
 	}
-	if all || experiment == "ablations" {
-		any = true
+	if all || cfg.experiment == "ablations" {
 		type ablation struct {
 			name string
 			run  func() (*experiments.AblationResult, error)
@@ -219,18 +340,17 @@ func run(ctx context.Context, experiment string, seed int64, runs, rounds, paral
 			fmt.Println(res.Render())
 			ablationSeries[a.name] = res
 		}
-		if err := writeJSON(jsonDir, "ablations", ablationSeries); err != nil {
+		if err := emit("ablations", ablationSeries); err != nil {
 			return err
 		}
 	}
-	if all || experiment == "robustness" {
-		any = true
-		cfg := experiments.DefaultRobustnessConfig()
-		cfg.Seed = seed
-		cfg.Workers = parallel
-		cfg.BaseProfile = faultProf
-		cfg.Transfers = transfers
-		res, err := experiments.RobustnessCtx(ctx, cfg)
+	if all || cfg.experiment == "robustness" {
+		rcfg := experiments.DefaultRobustnessConfig()
+		rcfg.Seed = seed
+		rcfg.Workers = parallel
+		rcfg.BaseProfile = cfg.faultProf
+		rcfg.Transfers = cfg.transfers
+		res, err := experiments.RobustnessCtx(ctx, rcfg)
 		if err != nil {
 			return err
 		}
@@ -238,12 +358,9 @@ func run(ctx context.Context, experiment string, seed int64, runs, rounds, paral
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := writeJSON(jsonDir, "robustness", res); err != nil {
+		if err := emit("robustness", res); err != nil {
 			return err
 		}
-	}
-	if !any {
-		return fmt.Errorf("unknown experiment %q", experiment)
 	}
 	return nil
 }

@@ -14,6 +14,18 @@
 // per-run seeds (people walk differently, tag data differs), fanned
 // across -parallel workers by internal/sim; the summary reports the mean
 // and spread across runs. Results are identical for every worker count.
+//
+// Observability (all opt-in, none changes any result byte):
+//
+//	-metrics-addr :9090   serve Prometheus text at /metrics, expvar JSON at
+//	                      /debug/vars and net/http/pprof at /debug/pprof/
+//	                      for the lifetime of the run (":0" picks a port,
+//	                      printed on stderr)
+//	-trace trace.jsonl    record one structured event per query round (and
+//	                      per injected control-plane fault) into a bounded
+//	                      ring (-trace-cap events), written as JSONL on
+//	                      exit; the "round" event count equals runs×rounds
+//	-progress             live runs/sec and ETA on stderr
 package main
 
 import (
@@ -32,6 +44,7 @@ import (
 	"witag/internal/crypto80211"
 	"witag/internal/experiments"
 	"witag/internal/fault"
+	"witag/internal/obs"
 	"witag/internal/sim"
 	"witag/internal/stats"
 )
@@ -49,6 +62,11 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent trial workers; <= 0 means all CPUs")
 		seed       = flag.Int64("seed", 1, "root random seed")
 		tempC      = flag.Float64("temp", 25, "ambient temperature °C")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run (empty: off)")
+		tracePath   = flag.String("trace", "", "write per-round trace events as JSONL to this file (empty: off)")
+		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "trace ring capacity in events; oldest events are dropped beyond it")
+		progress    = flag.Bool("progress", false, "live run progress (rate, ETA) on stderr")
 	)
 	flag.Parse()
 
@@ -59,10 +77,19 @@ func main() {
 		apStr: *apFlag, tagStr: *tagFlag, wallsStr: *wallsFlag,
 		cipherStr: *cipherFlag, faultStr: *faultFlag, gain: *gain, tempC: *tempC,
 	}
-	if err := run(ctx, cfg, *rounds, *runs, *parallel, *seed); err != nil {
+	ocfg := obsConfig{metricsAddr: *metricsAddr, tracePath: *tracePath, traceCap: *traceCap, progress: *progress}
+	if err := run(ctx, cfg, ocfg, *rounds, *runs, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "witag-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// obsConfig carries the observability flags.
+type obsConfig struct {
+	metricsAddr string
+	tracePath   string
+	traceCap    int
+	progress    bool
 }
 
 // deployment is the flag-specified scenario, buildable once per run.
@@ -160,23 +187,77 @@ func (d deployment) build(envSeed int64) (*core.System, *channel.Environment, er
 	return sys, env, nil
 }
 
-func run(ctx context.Context, cfg deployment, rounds, runs, parallel int, seed int64) error {
+func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, parallel int, seed int64) error {
 	if runs < 1 {
 		return fmt.Errorf("need at least 1 run, got %d", runs)
+	}
+
+	// Observability wiring: metrics registry plus optional trace ring,
+	// attached to every run's system at build time. Attaching draws no
+	// RNG values, so the measurements below are byte-identical with or
+	// without it.
+	reg := obs.NewRegistry()
+	var trace *obs.Recorder
+	if ocfg.tracePath != "" {
+		trace = obs.NewRecorder(ocfg.traceCap)
+	}
+	observer := obs.NewObserver(reg, trace)
+	var prog *obs.Progress
+	if ocfg.progress {
+		prog = obs.NewProgress(os.Stderr, "runs")
+		defer prog.Finish()
+	}
+	if ocfg.metricsAddr != "" {
+		srv, err := obs.Serve(ocfg.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+	}
+	if ocfg.tracePath != "" {
+		defer func() {
+			f, err := os.Create(ocfg.tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "witag-sim: trace:", err)
+				return
+			}
+			defer f.Close()
+			if err := trace.WriteJSONL(f); err != nil {
+				fmt.Fprintln(os.Stderr, "witag-sim: trace:", err)
+				return
+			}
+			if d := trace.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s (%d older events dropped; raise -trace-cap)\n", trace.Len(), ocfg.tracePath, d)
+			} else {
+				fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", trace.Len(), ocfg.tracePath)
+			}
+		}()
 	}
 
 	trials := make([]sim.Trial, runs)
 	for i := range trials {
 		runLabel := fmt.Sprintf("run=%d", i)
+		traceID := i
 		trials[i] = sim.Trial{
 			Build: func() (*core.System, *channel.Environment, error) {
-				return cfg.build(stats.SubSeed(seed, "sim", runLabel))
+				sys, env, err := cfg.build(stats.SubSeed(seed, "sim", runLabel))
+				if err != nil {
+					return nil, nil, err
+				}
+				sys.Obs = observer
+				sys.TraceID = traceID
+				if sys.Faults != nil {
+					sys.Faults.Obs = observer
+					sys.Faults.TraceID = traceID
+				}
+				return sys, env, nil
 			},
 			Rounds:   rounds,
 			DataSeed: stats.SubSeed(seed, "sim", runLabel, "data"),
 		}
 	}
-	runStats, err := sim.Runner{Workers: parallel}.RunTrials(ctx, trials)
+	runStats, err := sim.Runner{Workers: parallel, Obs: observer, Progress: prog}.RunTrials(ctx, trials)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"witag/internal/dot11"
 	"witag/internal/fault"
 	"witag/internal/mac"
+	"witag/internal/obs"
 	"witag/internal/phy"
 	"witag/internal/stats"
 	"witag/internal/tag"
@@ -52,8 +53,17 @@ type System struct {
 	// consumes the injector's hooks in a fixed order (see package fault)
 	// so the fault stream is reproducible from the injector's seed alone.
 	Faults *fault.Injector
+	// Obs, when non-nil, receives per-round metrics and trace events.
+	// Instrumentation is passive: it never draws from an RNG and never
+	// branches back into the simulation, so attaching it cannot change a
+	// round's outcome (the determinism contract, DESIGN.md §10).
+	Obs *obs.Observer
+	// TraceID labels this deployment's trace events (the trial index in
+	// Monte-Carlo campaigns).
+	TraceID int
 
-	rng *rand.Rand
+	rng      *rand.Rand
+	roundSeq int
 }
 
 // DefaultQuerySpec returns the paper-flavoured query: 4 trigger subframes
@@ -254,6 +264,7 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	subOK, subLost := 0, 0
 	for i := 0; i < s.Spec.Total(); i++ {
 		f := 0.0
 		if i >= s.Spec.TriggerLen {
@@ -274,9 +285,12 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 			ok = false // lost to interference outside the model
 		}
 		if ok {
+			subOK++
 			if err := sb.Record((startSeq + uint16(i)) & 0x0FFF); err != nil {
 				return nil, err
 			}
+		} else {
+			subLost++
 		}
 	}
 	ba := sb.BlockAck(s.Scheduler.Src, s.Scheduler.Dst, 0)
@@ -324,6 +338,40 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 	}
 	res.Airtime = access + ppdu + dot11.SIFS + baAir
 	s.Contender.Success()
+
+	// Observability flush: passive counters and one trace event per round,
+	// all derived from values already computed — zero RNG draws, zero
+	// influence on the round's outcome.
+	if o := s.Obs; o != nil {
+		s.roundSeq++
+		m := o.Core
+		m.Rounds.Inc()
+		if detected {
+			m.Detections.Inc()
+		} else {
+			m.TriggerMisses.Inc()
+		}
+		if baLost {
+			m.BALosses.Inc()
+		}
+		m.SubframesOK.Add(int64(subOK))
+		m.SubframesLost.Add(int64(subLost))
+		m.BitErrors.Add(int64(res.BitErrors))
+		slots, busy := s.Contender.LastSlots()
+		m.BackoffSlots.Add(int64(slots))
+		m.BusySlots.Add(int64(busy))
+		m.RoundAirtime.Observe(res.Airtime.Microseconds())
+		o.Trace.Record(obs.Event{
+			Kind:      "round",
+			Trial:     s.TraceID,
+			Round:     s.roundSeq,
+			Detected:  detected,
+			BALost:    baLost,
+			BitErrors: res.BitErrors,
+			AirtimeUs: res.Airtime.Microseconds(),
+			SNRmDb:    int64(math.Round(res.SNRDb * 1000)),
+		})
+	}
 	return res, nil
 }
 

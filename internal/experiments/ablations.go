@@ -54,7 +54,7 @@ func (r *AblationResult) Render() string {
 // AblationSwitchMode compares §5.2's phase-flip signalling with the naive
 // open/short design at the worst-case (mid-span) tag position.
 func AblationSwitchMode(seed int64, rounds int) (*AblationResult, error) {
-	return AblationSwitchModeCtx(context.Background(), sim.Runner{}, seed, rounds)
+	return AblationSwitchModeCtx(context.Background(), simRunner(0), seed, rounds)
 }
 
 // AblationSwitchModeCtx is AblationSwitchMode on an explicit runner.
@@ -106,7 +106,7 @@ func AblationSwitchModeCtx(ctx context.Context, r sim.Runner, seed int64, rounds
 // carry data (§7 notes the overhead is small against 64-subframe
 // aggregates).
 func AblationTriggerCount(seed int64, rounds int) (*AblationResult, error) {
-	return AblationTriggerCountCtx(context.Background(), sim.Runner{}, seed, rounds)
+	return AblationTriggerCountCtx(context.Background(), simRunner(0), seed, rounds)
 }
 
 // AblationTriggerCountCtx is AblationTriggerCount on an explicit runner.
@@ -157,7 +157,7 @@ func AblationTriggerCountCtx(ctx context.Context, r sim.Runner, seed int64, roun
 // metric is application goodput: payload bits delivered in verified frames
 // per second.
 func AblationFEC(seed int64, frames int) (*AblationResult, error) {
-	return AblationFECCtx(context.Background(), sim.Runner{}, seed, frames)
+	return AblationFECCtx(context.Background(), simRunner(0), seed, frames)
 }
 
 // AblationFECCtx is AblationFEC on an explicit runner.
@@ -237,7 +237,7 @@ func AblationFECCtx(ctx context.Context, r sim.Runner, seed int64, frames int) (
 
 // AblationAMPDUSize sweeps aggregate size at the default MCS.
 func AblationAMPDUSize(seed int64, rounds int) (*AblationResult, error) {
-	return AblationAMPDUSizeCtx(context.Background(), sim.Runner{}, seed, rounds)
+	return AblationAMPDUSizeCtx(context.Background(), simRunner(0), seed, rounds)
 }
 
 // AblationAMPDUSizeCtx is AblationAMPDUSize on an explicit runner.
@@ -284,7 +284,7 @@ func AblationAMPDUSizeCtx(ctx context.Context, r sim.Runner, seed int64, rounds 
 // AblationRobustRate sweeps the query MCS: too aggressive a rate confuses
 // path-loss failures with tag zeros (§4.1's robust-rate rule).
 func AblationRobustRate(seed int64, rounds int) (*AblationResult, error) {
-	return AblationRobustRateCtx(context.Background(), sim.Runner{}, seed, rounds)
+	return AblationRobustRateCtx(context.Background(), simRunner(0), seed, rounds)
 }
 
 // AblationRobustRateCtx is AblationRobustRate on an explicit runner.
@@ -335,7 +335,7 @@ func AblationRobustRateCtx(ctx context.Context, r sim.Runner, seed int64, rounds
 // AblationEncryption re-runs the near-client deployment on open, WEP and
 // WPA2 networks — the §4 transparency claim as a table.
 func AblationEncryption(seed int64, rounds int) (*AblationResult, error) {
-	return AblationEncryptionCtx(context.Background(), sim.Runner{}, seed, rounds)
+	return AblationEncryptionCtx(context.Background(), simRunner(0), seed, rounds)
 }
 
 // AblationEncryptionCtx is AblationEncryption on an explicit runner.

@@ -86,7 +86,7 @@ type PowerResult struct {
 // end-to-end consequence of clock drift: the same LoS deployment run with
 // each clock at 35 °C (calibrated at 25 °C).
 func Section7Power(seed int64) (*PowerResult, error) {
-	return Section7PowerCtx(context.Background(), sim.Runner{}, seed)
+	return Section7PowerCtx(context.Background(), simRunner(0), seed)
 }
 
 // Section7PowerCtx is Section7Power on an explicit runner; the oscillator

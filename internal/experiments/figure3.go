@@ -48,7 +48,7 @@ func Figure3Ctx(ctx context.Context, seed int64, workers int) (*Figure3Result, e
 	// measures the same room at several tag placements.
 	envSeed := stats.SubSeed(seed, "fig3")
 	distances := []float64{1, 2, 4, 6, 7}
-	points, err := sim.Map(ctx, sim.Runner{Workers: workers}, len(distances), func(ctx context.Context, i int) (Figure3Point, error) {
+	points, err := sim.Map(ctx, simRunner(workers), len(distances), func(ctx context.Context, i int) (Figure3Point, error) {
 		d := distances[i]
 		sys, env, err := LoSTestbed(d, envSeed)
 		if err != nil {

@@ -88,7 +88,7 @@ func Figure5Ctx(ctx context.Context, cfg Figure5Config) (*Figure5Result, error) 
 			})
 		}
 	}
-	runStats, err := sim.Runner{Workers: cfg.Workers}.RunTrials(ctx, trials)
+	runStats, err := simRunner(cfg.Workers).RunTrials(ctx, trials)
 	if err != nil {
 		return nil, err
 	}

@@ -64,7 +64,7 @@ func Figure6Ctx(ctx context.Context, loc NLoSLocation, cfg Figure6Config) (*Figu
 			DataSeed: stats.SubSeed(cfg.Seed, "fig6", locLabel, runLabel, "data"),
 		}
 	}
-	runStats, err := sim.Runner{Workers: cfg.Workers}.RunTrials(ctx, trials)
+	runStats, err := simRunner(cfg.Workers).RunTrials(ctx, trials)
 	if err != nil {
 		return nil, err
 	}

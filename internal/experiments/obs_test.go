@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"testing"
+
+	"witag/internal/obs"
+)
+
+// The observability layer rides the same determinism contract as the
+// results (DESIGN.md §8 and §10): instrumentation draws no RNG values, so
+// it cannot perturb any experiment output, and every deterministic counter
+// and histogram must be byte-identical for every worker count. These tests
+// are the receipts, and `make determinism` runs them alongside the result
+// determinism suite.
+
+// obsRobustnessConfig is the shared small sweep; same scale as
+// TestRobustnessDeterministicAcrossWorkerCounts.
+func obsRobustnessConfig(workers int) RobustnessConfig {
+	return RobustnessConfig{
+		Seed:          11,
+		PayloadBytes:  48,
+		Transfers:     6,
+		Workers:       workers,
+		BaseProfile:   "bursty",
+		LossBadPoints: []float64{0.6, 0.95},
+	}
+}
+
+// robustnessSnapshot runs the sweep with a fresh registry installed and
+// returns the accumulated metrics.
+func robustnessSnapshot(t *testing.T, workers int) obs.Snapshot {
+	t.Helper()
+	reg := obs.NewRegistry()
+	defer SetObserver(SetObserver(obs.NewObserver(reg, nil)))
+	if _, err := Robustness(obsRobustnessConfig(workers)); err != nil {
+		t.Fatal(err)
+	}
+	return reg.Snapshot()
+}
+
+func TestMetricsIdenticalAcrossWorkerCounts(t *testing.T) {
+	serial := robustnessSnapshot(t, 1)
+	parallel := robustnessSnapshot(t, manyWorkers())
+
+	// The deterministic view drops wall-clock instruments and gauges;
+	// everything left — every counter and every histogram bucket — must
+	// match exactly. Integer-valued observations make the sums exact
+	// regardless of which worker recorded them in which order.
+	ds, dp := serial.Deterministic(), parallel.Deterministic()
+	if !reflect.DeepEqual(ds, dp) {
+		bs, _ := json.Marshal(ds)
+		bp, _ := json.Marshal(dp)
+		t.Fatalf("worker count changed the metrics:\nserial:   %s\nparallel: %s", bs, bp)
+	}
+
+	// Guard against the vacuous pass: the harness must actually have
+	// driven the instrumented paths.
+	for _, name := range []string{
+		"core.rounds", "core.subframes_lost",
+		"link.transfers_started", "link.segments_sent",
+		"fault.subframes_lost",
+	} {
+		if ds.Counters[name] == 0 {
+			t.Errorf("counter %s is zero — instrumentation not exercised", name)
+		}
+	}
+	if len(ds.Histograms["core.round_airtime_us"].Counts) == 0 {
+		t.Error("round airtime histogram empty")
+	}
+	// The volatile wall-time histogram must have been filtered out of the
+	// deterministic view (it is real time and legitimately differs).
+	if _, ok := ds.Histograms["runner.trial_wall_ms"]; ok {
+		t.Error("volatile runner.trial_wall_ms leaked into the deterministic view")
+	}
+	if _, ok := serial.Histograms["runner.trial_wall_ms"]; !ok {
+		t.Error("runner.trial_wall_ms missing from the full snapshot")
+	}
+}
+
+func TestInstrumentationDoesNotPerturbResults(t *testing.T) {
+	cfg := obsRobustnessConfig(manyWorkers())
+
+	defer SetObserver(SetObserver(nil))
+	defer SetProgress(SetProgress(nil))
+	bare, err := Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full instrumentation: registry, trace ring and progress sink.
+	reg := obs.NewRegistry()
+	SetObserver(obs.NewObserver(reg, obs.NewRecorder(1<<12)))
+	SetProgress(obs.NewProgress(io.Discard, "trials"))
+	instrumented, err := Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(bare, instrumented) {
+		bb, _ := json.Marshal(bare)
+		bi, _ := json.Marshal(instrumented)
+		t.Fatalf("attaching instrumentation changed the result:\nbare:         %s\ninstrumented: %s", bb, bi)
+	}
+	if bare.Render() != instrumented.Render() {
+		t.Fatal("attaching instrumentation changed the rendered table")
+	}
+}
+
+func TestTraceRoundEventCountMatchesRounds(t *testing.T) {
+	const rounds = 37
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(1 << 12)
+	defer SetObserver(SetObserver(obs.NewObserver(reg, rec)))
+
+	sys, env, err := LoSTestbed(2, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureRun(sys, env, rounds, 456); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Snapshot().Counters["core.rounds"]; got != rounds {
+		t.Fatalf("core.rounds = %d, want %d", got, rounds)
+	}
+
+	// The JSONL export must parse line-by-line and contain exactly one
+	// "round" event per query round (the witag-sim -trace contract).
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	roundEvents := 0
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+		if ev.Kind == "round" {
+			roundEvents++
+		}
+	}
+	if roundEvents != rounds {
+		t.Fatalf("trace has %d round events, want %d", roundEvents, rounds)
+	}
+}

@@ -62,6 +62,14 @@ type RobustnessPoint struct {
 	MeanRetries float64
 	MeanRounds  float64
 	MeanLevel   float64 // final coding rung (0 = lightest)
+
+	// Mean injected fault counts per ARQ-mode transfer, by event type, so
+	// injected loss can be reconciled against the observed delivery and
+	// retry numbers above (the injector's own tally, not an estimate).
+	InjSubframesLost float64 `json:"injSubframesLost"`
+	InjTriggerMisses float64 `json:"injTriggerMisses"`
+	InjBALosses      float64 `json:"injBALosses"`
+	InjBrownouts     float64 `json:"injBrownouts"`
 }
 
 // RobustnessResult is the whole sweep.
@@ -77,6 +85,8 @@ type robustnessTrial struct {
 	delivered              bool
 	retries, rounds, level int
 	goodput                float64
+	// Injected fault tallies from the trial's own injector.
+	injSub, injTrig, injBA, injBrown int
 }
 
 // Robustness runs the sweep at default scale.
@@ -100,7 +110,7 @@ func RobustnessCtx(ctx context.Context, cfg RobustnessConfig) (*RobustnessResult
 	perPoint := modes * cfg.Transfers
 	n := len(cfg.LossBadPoints) * perPoint
 
-	trials, err := sim.Map(ctx, sim.Runner{Workers: cfg.Workers}, n,
+	trials, err := sim.Map(ctx, simRunner(cfg.Workers), n,
 		func(ctx context.Context, i int) (robustnessTrial, error) {
 			pi := i / perPoint
 			mode := i % perPoint / cfg.Transfers
@@ -119,10 +129,13 @@ func RobustnessCtx(ctx context.Context, cfg RobustnessConfig) (*RobustnessResult
 			if err != nil {
 				return robustnessTrial{}, err
 			}
+			sys.TraceID = i
 			sys.Faults, err = fault.NewInjector(prof, label("fault"))
 			if err != nil {
 				return robustnessTrial{}, err
 			}
+			sys.Faults.Obs = currentObserver()
+			sys.Faults.TraceID = i
 			payload := stats.RandomBytes(stats.NewRNG(label("payload")), cfg.PayloadBytes)
 
 			pol := link.DefaultPolicy()
@@ -136,7 +149,10 @@ func RobustnessCtx(ctx context.Context, cfg RobustnessConfig) (*RobustnessResult
 					return robustnessTrial{}, err
 				}
 			}
-			st, err := link.NewTransferer(sys, env, pol, cc, label("arq")).Send(ctx, payload)
+			xfer := link.NewTransferer(sys, env, pol, cc, label("arq"))
+			xfer.Obs = currentObserver()
+			xfer.TraceID = i
+			st, err := xfer.Send(ctx, payload)
 			if err != nil {
 				return robustnessTrial{}, err
 			}
@@ -149,6 +165,10 @@ func RobustnessCtx(ctx context.Context, cfg RobustnessConfig) (*RobustnessResult
 				rounds:    st.Rounds,
 				level:     st.FinalLevel,
 				goodput:   st.GoodputBps(),
+				injSub:    sys.Faults.SubframesLost,
+				injTrig:   sys.Faults.TriggerMisses,
+				injBA:     sys.Faults.BALosses,
+				injBrown:  sys.Faults.Brownouts,
 			}, nil
 		})
 	if err != nil {
@@ -174,6 +194,10 @@ func RobustnessCtx(ctx context.Context, cfg RobustnessConfig) (*RobustnessResult
 			pt.MeanRetries += float64(a.retries)
 			pt.MeanRounds += float64(a.rounds)
 			pt.MeanLevel += float64(a.level)
+			pt.InjSubframesLost += float64(a.injSub)
+			pt.InjTriggerMisses += float64(a.injTrig)
+			pt.InjBALosses += float64(a.injBA)
+			pt.InjBrownouts += float64(a.injBrown)
 		}
 		pt.BaselineDelivery /= float64(cfg.Transfers)
 		pt.ARQDelivery = float64(delivered) / float64(cfg.Transfers)
@@ -183,6 +207,10 @@ func RobustnessCtx(ctx context.Context, cfg RobustnessConfig) (*RobustnessResult
 		pt.MeanRetries /= float64(cfg.Transfers)
 		pt.MeanRounds /= float64(cfg.Transfers)
 		pt.MeanLevel /= float64(cfg.Transfers)
+		pt.InjSubframesLost /= float64(cfg.Transfers)
+		pt.InjTriggerMisses /= float64(cfg.Transfers)
+		pt.InjBALosses /= float64(cfg.Transfers)
+		pt.InjBrownouts /= float64(cfg.Transfers)
 		res.Points = append(res.Points, pt)
 	}
 	return res, nil
@@ -193,14 +221,16 @@ func (r *RobustnessResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Robustness: %d-byte transfers under %q burst faults (%d transfers/point)\n",
 		r.PayloadBytes, r.Profile, r.Transfers)
-	fmt.Fprintf(&b, "%-9s %-9s %-10s %-10s %-14s %-9s %-9s %-7s\n",
-		"LossBad", "AvgLoss", "no-ARQ", "ARQ", "Goodput Kbps", "Retries", "Rounds", "Level")
+	fmt.Fprintf(&b, "%-9s %-9s %-10s %-10s %-14s %-9s %-9s %-7s %s\n",
+		"LossBad", "AvgLoss", "no-ARQ", "ARQ", "Goodput Kbps", "Retries", "Rounds", "Level", "Injected sub/trig/ba/brown")
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%-9.2f %-9.3f %-10.2f %-10.2f %-14.2f %-9.1f %-9.1f %-7.1f\n",
+		fmt.Fprintf(&b, "%-9.2f %-9.3f %-10.2f %-10.2f %-14.2f %-9.1f %-9.1f %-7.1f %.1f/%.2f/%.2f/%.2f\n",
 			p.LossBad, p.AvgLoss, p.BaselineDelivery, p.ARQDelivery,
-			p.GoodputKbps, p.MeanRetries, p.MeanRounds, p.MeanLevel)
+			p.GoodputKbps, p.MeanRetries, p.MeanRounds, p.MeanLevel,
+			p.InjSubframesLost, p.InjTriggerMisses, p.InjBALosses, p.InjBrownouts)
 	}
 	b.WriteString("no-ARQ/ARQ columns are delivery probability; goodput/retries/rounds/level are ARQ means\n")
+	b.WriteString("injected column is the injector's own per-event-type tally, mean per ARQ transfer\n")
 	return b.String()
 }
 

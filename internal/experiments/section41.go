@@ -46,7 +46,7 @@ func Section41SweepCtx(ctx context.Context, workers int) (*Section41Result, erro
 	dst := dot11.MACAddr{2, 0, 0, 0, 0, 2}
 	tick := 20 * time.Microsecond
 	mcsIdxs := []int{0, 2, 4, 7}
-	perMCS, err := sim.Map(ctx, sim.Runner{Workers: workers}, len(mcsIdxs), func(ctx context.Context, i int) ([]Section41Row, error) {
+	perMCS, err := sim.Map(ctx, simRunner(workers), len(mcsIdxs), func(ctx context.Context, i int) ([]Section41Row, error) {
 		mcsIdx := mcsIdxs[i]
 		mcs, err := dot11.HTMCS(mcsIdx)
 		if err != nil {

@@ -39,6 +39,7 @@ func LoSTestbed(tagX float64, seed int64) (*core.System, *channel.Environment, e
 	if err != nil {
 		return nil, nil, err
 	}
+	sys.Obs = currentObserver()
 	return sys, env, nil
 }
 
@@ -84,6 +85,7 @@ func NLoSTestbed(loc NLoSLocation, seed int64) (*core.System, *channel.Environme
 	if err != nil {
 		return nil, nil, err
 	}
+	sys.Obs = currentObserver()
 	return sys, env, nil
 }
 

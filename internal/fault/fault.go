@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"witag/internal/obs"
 	"witag/internal/stats"
 )
 
@@ -172,6 +173,13 @@ type Injector struct {
 	chain   GilbertElliott
 	rng     *rand.Rand
 
+	// Obs, when non-nil, mirrors the per-event-type counters into the
+	// metrics registry and records round-level fault trace events. The
+	// hooks' RNG draw order is unchanged whether or not it is attached.
+	Obs *obs.Observer
+	// TraceID labels this injector's trace events.
+	TraceID int
+
 	// Counters for diagnostics and experiment tables.
 	SubframesLost int
 	TriggerMisses int
@@ -201,6 +209,11 @@ func (in *Injector) SubframeLost() bool {
 	lost := in.chain.Step(in.rng)
 	if lost {
 		in.SubframesLost++
+		if in.Obs != nil {
+			// Subframe losses are counted but not traced: at one draw per
+			// subframe they would flood the bounded ring.
+			in.Obs.Fault.SubframesLost.Inc()
+		}
 	}
 	return lost
 }
@@ -210,6 +223,10 @@ func (in *Injector) TriggerMissed() bool {
 	missed := stats.Bernoulli(in.rng, in.Profile.TriggerMissProb)
 	if missed {
 		in.TriggerMisses++
+		if in.Obs != nil {
+			in.Obs.Fault.TriggerMisses.Inc()
+			in.Obs.Trace.Record(obs.Event{Kind: "fault", Trial: in.TraceID, Outcome: "trigger_miss"})
+		}
 	}
 	return missed
 }
@@ -219,6 +236,10 @@ func (in *Injector) BALost() bool {
 	lost := stats.Bernoulli(in.rng, in.Profile.BALossProb)
 	if lost {
 		in.BALosses++
+		if in.Obs != nil {
+			in.Obs.Fault.BALosses.Inc()
+			in.Obs.Trace.Record(obs.Event{Kind: "fault", Trial: in.TraceID, Outcome: "ba_loss"})
+		}
 	}
 	return lost
 }
@@ -240,6 +261,10 @@ func (in *Injector) BrownoutWindow(n int) (start, length int, active bool) {
 	length = in.Profile.BrownoutSubframes
 	if start+length > n {
 		length = n - start
+	}
+	if in.Obs != nil {
+		in.Obs.Fault.Brownouts.Inc()
+		in.Obs.Trace.Record(obs.Event{Kind: "fault", Trial: in.TraceID, Outcome: "brownout", Offset: start, Length: length})
 	}
 	return start, length, true
 }

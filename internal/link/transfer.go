@@ -8,6 +8,7 @@ import (
 
 	"witag/internal/channel"
 	"witag/internal/core"
+	"witag/internal/obs"
 	"witag/internal/stats"
 )
 
@@ -83,6 +84,11 @@ type Transferer struct {
 	// applies.
 	Env   *channel.Environment
 	StepS float64
+	// Obs, when non-nil, receives transfer/segment metrics and trace
+	// events. Passive: no RNG draws, no effect on the ARQ loop.
+	Obs *obs.Observer
+	// TraceID labels this transferer's trace events.
+	TraceID int
 
 	rng *rand.Rand
 }
@@ -125,6 +131,36 @@ func (t *Transferer) Send(ctx context.Context, payload []byte) (*Stats, error) {
 		return nil, fmt.Errorf("link: transferer needs a system and a controller")
 	}
 	st := &Stats{PayloadBytes: len(payload)}
+	if o := t.Obs; o != nil {
+		o.Link.TransfersStarted.Inc()
+		// Flush the transfer's totals on every exit path — including
+		// cancellation — so live /metrics and the trace agree with the
+		// returned Stats.
+		defer func() {
+			m := o.Link
+			m.SegmentsSent.Add(int64(st.FramesSent))
+			m.Retries.Add(int64(st.Retries))
+			m.RoundFailures.Add(int64(st.RoundFailures))
+			m.DesyncErrors.Add(int64(st.DesyncErrors))
+			m.ResidualErrors.Add(int64(st.ResidualErrors))
+			m.CorrectedBits.Add(int64(st.CorrectedBits))
+			if st.Delivered {
+				m.TransfersDelivered.Inc()
+			} else {
+				m.TransfersFailed.Inc()
+			}
+			o.Trace.Record(obs.Event{
+				Kind:      "transfer",
+				Trial:     t.TraceID,
+				Delivered: st.Delivered,
+				Length:    st.PayloadBytes,
+				Rounds:    st.Rounds,
+				Retries:   st.Retries,
+				Level:     st.FinalLevel,
+				AirtimeUs: st.Airtime.Microseconds(),
+			})
+		}()
+	}
 	rx := &Reassembler{}
 	pending := splitRanges([]segment{{0, len(payload)}}, t.Controller.Level().SegBytes)
 	budget := t.Policy.RetryBudget
@@ -165,6 +201,10 @@ func (t *Transferer) Send(ctx context.Context, payload []byte) (*Stats, error) {
 			wait := t.backoff(consecErased)
 			st.BackoffWait += wait
 			st.Airtime += wait
+			if o := t.Obs; o != nil {
+				o.Link.BackoffWaits.Inc()
+				o.Link.BackoffWait.Observe(wait.Microseconds())
+			}
 		} else {
 			consecErased = 0
 		}
@@ -216,6 +256,7 @@ func (t *Transferer) attempt(payload []byte, seg segment, lvl Level, rx *Reassem
 		// abandon the frame and back off.
 		if res.BALost || !res.Detected {
 			st.RoundFailures++
+			t.traceSegment(seg, "erased")
 			return attemptRoundErased, nil
 		}
 		rxBits = append(rxBits, res.RxBits[:end-off]...)
@@ -227,7 +268,8 @@ func (t *Transferer) attempt(payload []byte, seg segment, lvl Level, rx *Reassem
 		} else {
 			st.ResidualErrors++
 		}
-		t.Controller.Observe(false)
+		t.observeVerdict(false)
+		t.traceSegment(seg, "frame_error")
 		return attemptFrameError, nil
 	}
 	off, total, chunk, perr := parseFrame(got)
@@ -235,15 +277,45 @@ func (t *Transferer) attempt(payload []byte, seg segment, lvl Level, rx *Reassem
 		// The CRC passed but the header disagrees with what we queried —
 		// residual corruption that happened to keep the checksum valid.
 		st.ResidualErrors++
-		t.Controller.Observe(false)
+		t.observeVerdict(false)
+		t.traceSegment(seg, "frame_error")
 		return attemptFrameError, nil
 	}
 	if err := rx.Add(off, total, chunk); err != nil {
 		return attemptFrameError, err
 	}
 	st.CorrectedBits += corrected
-	t.Controller.Observe(true)
+	t.observeVerdict(true)
+	t.traceSegment(seg, "ok")
 	return attemptOK, nil
+}
+
+// observeVerdict feeds the coding controller and counts the ladder moves
+// the verdict causes.
+func (t *Transferer) observeVerdict(frameOK bool) {
+	before := t.Controller.Index()
+	t.Controller.Observe(frameOK)
+	if o := t.Obs; o != nil {
+		if after := t.Controller.Index(); after > before {
+			o.Link.LadderUp.Inc()
+		} else if after < before {
+			o.Link.LadderDown.Inc()
+		}
+	}
+}
+
+// traceSegment records one frame attempt's outcome.
+func (t *Transferer) traceSegment(seg segment, outcome string) {
+	if o := t.Obs; o != nil {
+		o.Trace.Record(obs.Event{
+			Kind:    "segment",
+			Trial:   t.TraceID,
+			Offset:  seg.start,
+			Length:  seg.len(),
+			Level:   t.Controller.Index(),
+			Outcome: outcome,
+		})
+	}
 }
 
 // backoff returns the capped exponential wait after the n-th consecutive

@@ -17,6 +17,9 @@ type Contender struct {
 	cwMin, cwMax int
 	cw           int
 	rng          *rand.Rand
+
+	lastSlots int
+	lastBusy  int
 }
 
 // NewContender returns a best-effort access contender (CWmin 15, CWmax
@@ -38,14 +41,22 @@ func (c *Contender) AccessDelay(busyProb float64, otherFrame time.Duration) (tim
 		slots = c.rng.Intn(c.cw + 1)
 	}
 	d := dot11.DIFS
+	busy := 0
 	for i := 0; i < slots; i++ {
 		if busyProb > 0 && c.rng.Float64() < busyProb {
 			d += otherFrame + dot11.DIFS
+			busy++
 		}
 		d += dot11.SlotTime
 	}
+	c.lastSlots, c.lastBusy = slots, busy
 	return d, nil
 }
+
+// LastSlots reports the backoff slots counted down by the most recent
+// AccessDelay, and how many of them were frozen by other traffic — the
+// observability layer's window into contention without an extra RNG draw.
+func (c *Contender) LastSlots() (slots, busy int) { return c.lastSlots, c.lastBusy }
 
 // Success resets the contention window after a delivered frame.
 func (c *Contender) Success() { c.cw = c.cwMin }

@@ -1,0 +1,89 @@
+package obs
+
+import "sync/atomic"
+
+// Histogram is a fixed-bucket integer histogram. Bounds are inclusive
+// upper limits in ascending order; an observation lands in the first
+// bucket whose bound is ≥ the value, or in the implicit overflow bucket.
+//
+// Integer observations are the deliberate restriction that keeps merges
+// and concurrent recording exactly order-independent: int64 adds commute,
+// float adds do not. Callers quantise — microseconds of airtime,
+// milliseconds of wall time, milli-dB of SNR — rather than observe
+// floats.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Observe records one value (nil-safe).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: instrument histograms have ≤ ~24 buckets, where the
+	// scan beats binary search and allocates nothing.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Exp2Bounds returns n bucket bounds doubling from first: first,
+// 2·first, 4·first, … — the standard latency-style bucketing for the
+// integer histograms in this package.
+func Exp2Bounds(first int64, n int) []int64 {
+	if first < 1 {
+		first = 1
+	}
+	out := make([]int64, n)
+	v := first
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= 2
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Runtime HTTP surface: Prometheus text at /metrics, expvar-compatible
+// JSON at /debug/vars, and the full net/http/pprof suite at
+// /debug/pprof/. Everything hangs off a private mux so the package never
+// mutates http.DefaultServeMux or the process-global expvar table —
+// multiple servers over multiple registries coexist (which the tests
+// exercise).
+
+// NewMux returns a mux serving reg's observability endpoints.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", expvarHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "witag observability: /metrics /debug/vars /debug/pprof/\n")
+	})
+	return mux
+}
+
+// expvarHandler mirrors expvar.Handler's output — the process-global
+// published vars (cmdline, memstats, anything the embedder added) — and
+// appends the registry snapshot under "witag". Duplicating the loop here
+// avoids expvar.Publish, whose global table panics on re-registration.
+func expvarHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		expvar.Do(func(kv expvar.KeyValue) {
+			fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value.String())
+		})
+		snap := expvar.Func(func() any { return reg.Snapshot() })
+		fmt.Fprintf(w, "%q: %s\n}\n", "witag", snap.String())
+	}
+}
+
+// Server is a running observability listener.
+type Server struct {
+	// Addr is the bound address (useful with ":0").
+	Addr net.Addr
+	srv  *http.Server
+	done chan error
+}
+
+// Serve binds addr and serves reg's endpoints in a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		Addr: ln.Addr(),
+		srv:  &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Close stops the listener and waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	if serveErr := <-s.done; err == nil {
+		err = serveErr
+	}
+	return err
+}

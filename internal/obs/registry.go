@@ -1,0 +1,224 @@
+// Package obs is the simulator's deterministic observability layer:
+// a zero-allocation metrics registry, a bounded trace recorder, a live
+// progress reporter and the HTTP surfaces (Prometheus text, expvar,
+// pprof) that expose them.
+//
+// The design constraint that shapes everything here is the worker-count
+// determinism contract (DESIGN.md §8): attaching instrumentation must not
+// change a single bit of any experiment output, and the *instrumentation
+// itself* must be reproducible. Concretely:
+//
+//   - No instrument ever draws from an RNG or branches on shared mutable
+//     state; counters and histograms are passive atomic sinks.
+//   - Histograms are integer-valued. Atomic float summation is not
+//     associative, so a float histogram's sum would drift in its last ulp
+//     with worker interleaving; int64 addition is exactly commutative, so
+//     bucket counts *and* sums are identical for 1 and NumCPU workers.
+//   - Wall-clock instruments (trial wall time, progress rates) are
+//     registered as *volatile* and excluded from Snapshot.Deterministic,
+//     which is the view the determinism suite compares across worker
+//     counts.
+//
+// Hot-path cost when attached is one atomic add per event; when detached
+// (nil observer) it is a single pointer test.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Nil counters are silently ignored so
+// partially wired instrumentation never panics.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. Last-write-wins semantics make
+// a concurrently written gauge scheduling-dependent, so gauges are
+// registered volatile by every instrument in this repo and never enter
+// the deterministic snapshot view.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v (nil-safe).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (nil-safe).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry owns a process- or experiment-scoped set of named instruments.
+// Registration takes a lock and may allocate; lookups of existing names
+// and all instrument updates are lock-free. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	volatile map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		volatile: make(map[string]bool),
+	}
+}
+
+// Option tags an instrument at registration time.
+type Option func(r *Registry, name string)
+
+// Volatile marks an instrument as wall-clock- or scheduling-dependent.
+// Volatile instruments appear in snapshots and on the HTTP surfaces but
+// are dropped by Snapshot.Deterministic, the view the determinism suite
+// compares across worker counts.
+func Volatile(r *Registry, name string) { r.volatile[name] = true }
+
+// Counter returns the counter registered under name, creating it on first
+// use. Repeated registrations return the same instrument.
+func (r *Registry) Counter(name string, opts ...Option) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	for _, o := range opts {
+		o(r, name)
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string, opts ...Option) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	for _, o := range opts {
+		o(r, name)
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use. Later registrations return
+// the existing instrument regardless of the bounds they pass.
+func (r *Registry) Histogram(name string, bounds []int64, opts ...Option) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	for _, o := range opts {
+		o(r, name)
+	}
+	return h
+}
+
+// Snapshot captures a point-in-time copy of every instrument. It is safe
+// to call concurrently with updates; each instrument is read atomically
+// (the snapshot as a whole is not a cross-instrument atomic cut, which
+// the deterministic view never needs — it is only compared at quiescence).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Volatile:   make(map[string]bool, len(r.volatile)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	for name := range r.volatile {
+		s.Volatile[name] = true
+	}
+	return s
+}
+
+// names returns every registered instrument name, sorted, for the
+// Prometheus exporter's stable output order.
+func (s Snapshot) names() (counters, gauges, hists []string) {
+	for n := range s.Counters {
+		counters = append(counters, n)
+	}
+	for n := range s.Gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range s.Histograms {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}

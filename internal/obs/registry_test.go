@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("a.gauge", Volatile)
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	// Nil instruments are inert, not panics.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Set(3)
+	var nh *Histogram
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Fatal("nil instruments should read zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	want := []int64{2, 2, 0, 1} // ≤10: {5,10}; ≤100: {11,100}; ≤1000: none; overflow: {5000}
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 5 || s.Sum != 5+10+11+100+5000 {
+		t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+}
+
+func TestExp2Bounds(t *testing.T) {
+	got := Exp2Bounds(256, 4)
+	want := []int64{256, 512, 1024, 2048}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Exp2Bounds = %v, want %v", got, want)
+	}
+}
+
+// Concurrent hammering from many goroutines must sum exactly — the
+// property the worker-count determinism contract leans on. Run under
+// -race by make check.
+func TestConcurrentUpdatesSumExactly(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", Exp2Bounds(1, 8))
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(int64(i % 300))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestSnapshotDeltaAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("work.items")
+	wall := r.Histogram("work.wall_ms", Exp2Bounds(1, 4), Volatile)
+	g := r.Gauge("work.inflight", Volatile)
+
+	c.Add(3)
+	wall.Observe(7)
+	g.Set(1)
+	before := r.Snapshot()
+	c.Add(5)
+	wall.Observe(9)
+	after := r.Snapshot()
+
+	d := after.Delta(before)
+	if d.Counters["work.items"] != 5 {
+		t.Fatalf("delta counter = %d, want 5", d.Counters["work.items"])
+	}
+	if d.Histograms["work.wall_ms"].Count != 1 {
+		t.Fatalf("delta hist count = %d, want 1", d.Histograms["work.wall_ms"].Count)
+	}
+
+	det := after.Deterministic()
+	if _, ok := det.Histograms["work.wall_ms"]; ok {
+		t.Fatal("volatile histogram leaked into deterministic view")
+	}
+	if len(det.Gauges) != 0 {
+		t.Fatal("gauges must never enter the deterministic view")
+	}
+	if det.Counters["work.items"] != 8 {
+		t.Fatalf("deterministic counter = %d, want 8", det.Counters["work.items"])
+	}
+}
+
+func TestMergeIsOrderIndependent(t *testing.T) {
+	mk := func(c int64, obs ...int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("n").Add(c)
+		h := r.Histogram("h", []int64{10, 100})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a, b, c := mk(1, 5), mk(10, 50, 500), mk(100, 7, 70, 700)
+
+	abc := Merge(a, b, c)
+	cba := Merge(c, b, a)
+	nested := Merge(Merge(a, b), c)
+	if !reflect.DeepEqual(abc, cba) || !reflect.DeepEqual(abc, nested) {
+		t.Fatalf("merge depends on order/grouping:\nabc: %+v\ncba: %+v\nnested: %+v", abc, cba, nested)
+	}
+	if abc.Counters["n"] != 111 {
+		t.Fatalf("merged counter = %d, want 111", abc.Counters["n"])
+	}
+	if h := abc.Histograms["h"]; h.Count != 6 || h.Sum != 5+50+500+7+70+700 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.rounds").Add(42)
+	r.Gauge("runner.workers", Volatile).Set(8)
+	h := r.Histogram("core.round_airtime_us", []int64{100, 200})
+	h.Observe(50)
+	h.Observe(150)
+	h.Observe(900)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE witag_core_rounds counter\nwitag_core_rounds 42\n",
+		"# TYPE witag_runner_workers gauge\nwitag_runner_workers 8\n",
+		`witag_core_round_airtime_us_bucket{le="100"} 1`,
+		`witag_core_round_airtime_us_bucket{le="200"} 2`,
+		`witag_core_round_airtime_us_bucket{le="+Inf"} 3`,
+		"witag_core_round_airtime_us_sum 1100",
+		"witag_core_round_airtime_us_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Stable ordering: identical snapshots serialise identically.
+	var buf2 bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("prometheus serialisation is not stable")
+	}
+}
+
+func TestObserverWiresEveryView(t *testing.T) {
+	o := NewObserver(NewRegistry(), nil)
+	if o.Core == nil || o.Link == nil || o.Fault == nil || o.Runner == nil {
+		t.Fatal("observer left a view nil")
+	}
+	o.Core.Rounds.Inc()
+	o.Link.SegmentsSent.Inc()
+	o.Fault.BALosses.Inc()
+	o.Runner.TrialsDone.Inc()
+	s := o.Registry.Snapshot()
+	for _, name := range []string{"core.rounds", "link.segments_sent", "fault.ba_losses", "runner.trials_done"} {
+		if s.Counters[name] != 1 {
+			t.Fatalf("%s = %d, want 1", name, s.Counters[name])
+		}
+	}
+	if !s.Volatile["runner.trial_wall_ms"] {
+		t.Fatal("trial wall-time histogram must be volatile")
+	}
+}

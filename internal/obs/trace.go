@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured trace record. A single flat struct with
+// omitempty fields (rather than per-kind types) keeps recording
+// allocation-free and the JSONL schema self-describing.
+type Event struct {
+	// Kind discriminates the record: "round", "segment", "transfer",
+	// "fault" or "trial".
+	Kind string `json:"kind"`
+	// Trial is the trace ID of the deployment that emitted the event
+	// (the trial index in Monte-Carlo campaigns).
+	Trial int `json:"trial,omitempty"`
+	// Round is the emitting system's per-deployment round sequence number
+	// (1-based so it survives omitempty).
+	Round int `json:"round,omitempty"`
+
+	// Round fields.
+	Detected  bool  `json:"detected,omitempty"`
+	BALost    bool  `json:"ba_lost,omitempty"`
+	BitErrors int   `json:"bit_errors,omitempty"`
+	AirtimeUs int64 `json:"airtime_us,omitempty"`
+	SNRmDb    int64 `json:"snr_mdb,omitempty"` // link SNR in milli-dB
+
+	// Segment / transfer fields.
+	Offset    int    `json:"offset,omitempty"`
+	Length    int    `json:"length,omitempty"`
+	Level     int    `json:"level,omitempty"`
+	Outcome   string `json:"outcome,omitempty"` // segment: ok|erased|frame_error; fault: event name
+	Delivered bool   `json:"delivered,omitempty"`
+	Rounds    int    `json:"rounds,omitempty"`
+	Retries   int    `json:"retries,omitempty"`
+
+	// Trial fields (wall time is diagnostic; it never feeds back into
+	// the simulation).
+	WallMs int64 `json:"wall_ms,omitempty"`
+}
+
+// Recorder is a bounded ring buffer of events. Recording is mutex-guarded
+// (tracing is opt-in; when enabled, a short critical section per event is
+// cheaper than the allocation churn of a lock-free ring and keeps the
+// dropped-event accounting exact). The buffer grows by appending up to
+// its capacity, then wraps, overwriting the oldest events; Dropped counts
+// the overwrites. A nil *Recorder ignores every call.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	cap     int
+	next    int // wrap position once len(buf) == cap
+	total   uint64
+	dropped uint64
+}
+
+// DefaultTraceCap bounds a recorder created with capacity <= 0. At
+// roughly 150 bytes per in-memory event this is ~40 MB fully loaded.
+const DefaultTraceCap = 1 << 18
+
+// NewRecorder returns a recorder holding at most capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Record appends one event, overwriting the oldest once full (nil-safe).
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % r.cap
+		r.dropped++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns how many events were ever recorded.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events the ring overwrote.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteJSONL streams the retained events to w, one JSON object per line,
+// oldest first.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRetainsInOrder(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{Kind: "round", Round: i})
+	}
+	ev := r.Events()
+	if len(ev) != 5 || r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d", len(ev), r.Total(), r.Dropped())
+	}
+	for i, e := range ev {
+		if e.Round != i+1 {
+			t.Fatalf("event %d has round %d", i, e.Round)
+		}
+	}
+}
+
+func TestRecorderWrapsOverwritingOldest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(Event{Kind: "round", Round: i})
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if e.Round != 7+i {
+			t.Fatalf("retained rounds %v, want 7..10", ev)
+		}
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", r.Total(), r.Dropped())
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: "round"})
+	if r.Len() != 0 || r.Events() != nil || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder should ignore everything")
+	}
+}
+
+func TestWriteJSONLRoundTrips(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Event{Kind: "round", Trial: 3, Round: 1, Detected: true, BitErrors: 2, AirtimeUs: 1234, SNRmDb: 21500})
+	r.Record(Event{Kind: "segment", Offset: 48, Length: 16, Level: 2, Outcome: "frame_error"})
+	r.Record(Event{Kind: "transfer", Delivered: true, Rounds: 9, Retries: 1, AirtimeUs: 99999})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var kinds []string
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, e.Kind)
+	}
+	if len(kinds) != 3 || kinds[0] != "round" || kinds[1] != "segment" || kinds[2] != "transfer" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestRecorderConcurrentRecord(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Event{Kind: "round", Trial: w, Round: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != 8000 || r.Len() != 64 || r.Dropped() != 8000-64 {
+		t.Fatalf("total=%d len=%d dropped=%d", r.Total(), r.Len(), r.Dropped())
+	}
+	if err := r.WriteJSONL(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecorderRecord(b *testing.B) {
+	r := NewRecorder(1 << 16)
+	e := Event{Kind: "round", Trial: 1, Round: 2, Detected: true, AirtimeUs: 1234}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(e)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench.counter")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	_ = fmt.Sprint(c.Value())
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench.hist", Exp2Bounds(1, 16))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			h.Observe(i & 0xFFFF)
+			i++
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package obs
+
+// Typed instrument views. Each instrumented package gets a struct of
+// pre-resolved instruments so its hot path never does a map lookup; the
+// names below are the complete metric namespace of the simulator and the
+// single place it is defined.
+
+// CoreMetrics instruments core.System.QueryRound.
+type CoreMetrics struct {
+	Rounds        *Counter   // completed query rounds
+	Detections    *Counter   // rounds where the tag detected the trigger
+	TriggerMisses *Counter   // rounds where it did not (noise or injected)
+	BALosses      *Counter   // rounds erased by a lost block ACK
+	SubframesOK   *Counter   // subframe verdicts: decoded at the AP
+	SubframesLost *Counter   // subframe verdicts: lost
+	BitErrors     *Counter   // tag bit errors across all rounds
+	BackoffSlots  *Counter   // DCF backoff slots counted down
+	BusySlots     *Counter   // backoff slots frozen by other traffic
+	RoundAirtime  *Histogram // per-round airtime, µs
+}
+
+// NewCoreMetrics registers the core namespace on r.
+func NewCoreMetrics(r *Registry) *CoreMetrics {
+	return &CoreMetrics{
+		Rounds:        r.Counter("core.rounds"),
+		Detections:    r.Counter("core.rounds_detected"),
+		TriggerMisses: r.Counter("core.rounds_trigger_missed"),
+		BALosses:      r.Counter("core.rounds_ba_lost"),
+		SubframesOK:   r.Counter("core.subframes_ok"),
+		SubframesLost: r.Counter("core.subframes_lost"),
+		BitErrors:     r.Counter("core.bit_errors"),
+		BackoffSlots:  r.Counter("core.backoff_slots"),
+		BusySlots:     r.Counter("core.busy_slots"),
+		RoundAirtime:  r.Histogram("core.round_airtime_us", Exp2Bounds(256, 14)),
+	}
+}
+
+// LinkMetrics instruments link.Transferer.
+type LinkMetrics struct {
+	TransfersStarted   *Counter
+	TransfersDelivered *Counter
+	TransfersFailed    *Counter // not delivered: budget exhausted, error or cancellation
+	SegmentsSent       *Counter // frame attempts, including failures
+	Retries            *Counter
+	RoundFailures      *Counter // attempts erased by missed trigger / lost BA
+	DesyncErrors       *Counter
+	ResidualErrors     *Counter
+	CorrectedBits      *Counter
+	LadderUp           *Counter   // coding escalations (toward heavier protection)
+	LadderDown         *Counter   // relaxations
+	BackoffWaits       *Counter   // backoff sleeps taken
+	BackoffWait        *Histogram // per-backoff simulated wait, µs
+}
+
+// NewLinkMetrics registers the link namespace on r.
+func NewLinkMetrics(r *Registry) *LinkMetrics {
+	return &LinkMetrics{
+		TransfersStarted:   r.Counter("link.transfers_started"),
+		TransfersDelivered: r.Counter("link.transfers_delivered"),
+		TransfersFailed:    r.Counter("link.transfers_failed"),
+		SegmentsSent:       r.Counter("link.segments_sent"),
+		Retries:            r.Counter("link.retries"),
+		RoundFailures:      r.Counter("link.round_failures"),
+		DesyncErrors:       r.Counter("link.desync_errors"),
+		ResidualErrors:     r.Counter("link.residual_errors"),
+		CorrectedBits:      r.Counter("link.corrected_bits"),
+		LadderUp:           r.Counter("link.ladder_up"),
+		LadderDown:         r.Counter("link.ladder_down"),
+		BackoffWaits:       r.Counter("link.backoff_waits"),
+		BackoffWait:        r.Histogram("link.backoff_wait_us", Exp2Bounds(512, 10)),
+	}
+}
+
+// FaultMetrics counts injections per event type (fault.Injector).
+type FaultMetrics struct {
+	SubframesLost *Counter
+	TriggerMisses *Counter
+	BALosses      *Counter
+	Brownouts     *Counter
+}
+
+// NewFaultMetrics registers the fault namespace on r.
+func NewFaultMetrics(r *Registry) *FaultMetrics {
+	return &FaultMetrics{
+		SubframesLost: r.Counter("fault.subframes_lost"),
+		TriggerMisses: r.Counter("fault.trigger_misses"),
+		BALosses:      r.Counter("fault.ba_losses"),
+		Brownouts:     r.Counter("fault.brownouts"),
+	}
+}
+
+// RunnerMetrics instruments sim.Runner. Trial wall time is real time, so
+// its histogram is volatile: it shows up on /metrics but is excluded from
+// the deterministic snapshot the worker-count suite compares.
+type RunnerMetrics struct {
+	TrialsStarted *Counter
+	TrialsDone    *Counter
+	TrialsFailed  *Counter
+	TrialWall     *Histogram // per-trial wall time, ms (volatile)
+}
+
+// NewRunnerMetrics registers the runner namespace on r.
+func NewRunnerMetrics(r *Registry) *RunnerMetrics {
+	return &RunnerMetrics{
+		TrialsStarted: r.Counter("runner.trials_started"),
+		TrialsDone:    r.Counter("runner.trials_done"),
+		TrialsFailed:  r.Counter("runner.trials_failed"),
+		TrialWall:     r.Histogram("runner.trial_wall_ms", Exp2Bounds(1, 16), Volatile),
+	}
+}
+
+// Observer bundles one registry's typed views with an optional trace
+// recorder; it is the single handle threaded through core, link, fault
+// and sim. A nil *Observer disables all instrumentation; a non-nil one
+// always has every view populated (construct via NewObserver).
+type Observer struct {
+	Registry *Registry
+	Trace    *Recorder // may be nil: metrics without tracing
+
+	Core   *CoreMetrics
+	Link   *LinkMetrics
+	Fault  *FaultMetrics
+	Runner *RunnerMetrics
+}
+
+// NewObserver wires every instrument view onto reg. trace may be nil.
+func NewObserver(reg *Registry, trace *Recorder) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Observer{
+		Registry: reg,
+		Trace:    trace,
+		Core:     NewCoreMetrics(reg),
+		Link:     NewLinkMetrics(reg),
+		Fault:    NewFaultMetrics(reg),
+		Runner:   NewRunnerMetrics(reg),
+	}
+}

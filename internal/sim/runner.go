@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"witag/internal/obs"
 )
 
 // Runner fans independent work items across a bounded pool of goroutines.
@@ -12,6 +15,14 @@ import (
 type Runner struct {
 	// Workers is the pool size; <= 0 means runtime.NumCPU().
 	Workers int
+	// Obs, when non-nil, counts items started/done/failed and records
+	// each item's wall time (a volatile metric: real time, excluded from
+	// the deterministic snapshot view).
+	Obs *obs.Observer
+	// Progress, when non-nil, receives live completion updates
+	// (trials/sec and ETA on stderr in the CLIs). Purely a sink — it
+	// never feeds back into the work.
+	Progress *obs.Progress
 }
 
 func (r Runner) workers() int {
@@ -38,6 +49,7 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	r.Progress.Start(n)
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -53,13 +65,31 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				var start time.Time
+				if r.Obs != nil {
+					r.Obs.Runner.TrialsStarted.Inc()
+					start = time.Now()
+				}
+				err := fn(ctx, i)
+				if r.Obs != nil {
+					wall := time.Since(start)
+					m := r.Obs.Runner
+					if err != nil {
+						m.TrialsFailed.Inc()
+					} else {
+						m.TrialsDone.Inc()
+					}
+					m.TrialWall.Observe(wall.Milliseconds())
+					r.Obs.Trace.Record(obs.Event{Kind: "trial", Trial: i, WallMs: wall.Milliseconds()})
+				}
+				if err != nil {
 					errOnce.Do(func() {
 						firstErr = err
 						cancel()
 					})
 					return
 				}
+				r.Progress.Done(1)
 			}
 		}()
 	}
