@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet test race bench build cover fuzz fuzzseed determinism
+.PHONY: check fmt vet lint test race bench bench-series build cover fuzz fuzzseed determinism
 
-check: fmt vet race fuzzseed determinism
+check: fmt vet lint race fuzzseed determinism
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,21 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Deeper static analysis, gated on the tools being installed: CI images
+# without staticcheck/govulncheck skip with a notice instead of failing,
+# and nothing is downloaded implicitly.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -32,6 +47,13 @@ race:
 # bench.txt so successive runs can be compared (`benchstat old.txt bench.txt`).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | tee bench.txt
+
+# Regenerate the committed baseline series under bench/: every
+# experiment's BENCH_<name>.json (plus its metrics delta) at default
+# scale. Deterministic for a given seed, so `git diff bench/` after a
+# change shows exactly which trajectories moved.
+bench-series:
+	$(GO) run ./cmd/witag-bench -experiment all -json bench
 
 # Whole-repo coverage profile plus the one-line total.
 cover:

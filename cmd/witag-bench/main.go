@@ -7,7 +7,8 @@
 //	witag-bench [-experiment all|fig3|fig5|fig6|s41|compare|power|ablations|robustness]
 //	            [-seed N] [-runs N] [-rounds N] [-parallel N] [-json DIR]
 //	            [-fault PROFILE] [-transfers N]
-//	            [-metrics-addr HOST:PORT] [-trace FILE] [-trace-cap N] [-progress]
+//	            [-metrics-addr HOST:PORT] [-trace FILE] [-trace-out DIR]
+//	            [-trace-cap N] [-progress]
 //
 // Scale note: "-rounds" stands in for the paper's one-minute measurement
 // windows; the defaults keep the full suite under a minute of wall time.
@@ -32,6 +33,9 @@
 //	-trace trace.jsonl    record structured per-round/per-transfer events
 //	                      into a bounded ring (-trace-cap events) and write
 //	                      them as JSONL on exit
+//	-trace-out DIR        like -trace, but one fresh ring per experiment,
+//	                      written as TRACE_<name>.jsonl under DIR — the
+//	                      files witag-trace analyze/flag/replay consume
 //	-progress             live trials/sec and ETA on stderr
 package main
 
@@ -76,6 +80,7 @@ type benchConfig struct {
 
 	metricsAddr string
 	tracePath   string
+	traceOut    string
 	traceCap    int
 	progress    bool
 }
@@ -92,6 +97,7 @@ func main() {
 	flag.IntVar(&cfg.transfers, "transfers", 100, "transfers per sweep point per mode (robustness)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run (empty: off)")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write per-round/per-transfer trace events as JSONL to this file (empty: off)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write one TRACE_<name>.jsonl per experiment under this directory (empty: off)")
 	flag.IntVar(&cfg.traceCap, "trace-cap", obs.DefaultTraceCap, "trace ring capacity in events; oldest events are dropped beyond it")
 	flag.BoolVar(&cfg.progress, "progress", false, "live trial progress (rate, ETA) on stderr")
 	flag.Parse()
@@ -138,6 +144,9 @@ func run(ctx context.Context, cfg benchConfig) error {
 	}
 	if _, err := fault.Named(cfg.faultProf); err != nil {
 		return err // fault.Named lists the valid profile names
+	}
+	if cfg.tracePath != "" && cfg.traceOut != "" {
+		return fmt.Errorf("-trace and -trace-out are exclusive: one ring for the whole run, or one per experiment")
 	}
 
 	// Observability wiring: one registry + optional trace ring for the
@@ -205,9 +214,54 @@ func run(ctx context.Context, cfg benchConfig) error {
 
 	all := cfg.experiment == "all"
 	seed, runs, rounds, parallel := cfg.seed, cfg.runs, cfg.rounds, cfg.parallel
-	runner := sim.Runner{Workers: parallel, Obs: observer, Progress: progress}
 
-	if all || cfg.experiment == "fig3" {
+	// runExperiment runs one experiment under the right observer. With
+	// -trace-out, the experiment records into its own fresh ring, written
+	// as TRACE_<name>.jsonl under the directory when it finishes — one
+	// self-contained file per experiment for witag-trace to analyze.
+	runExperiment := func(name string, fn func(runner sim.Runner) error) error {
+		if !all && cfg.experiment != name {
+			return nil
+		}
+		o := observer
+		var rec *obs.Recorder
+		if cfg.traceOut != "" {
+			rec = obs.NewRecorder(cfg.traceCap)
+			o = obs.NewObserver(reg, rec)
+		}
+		prev := experiments.SetObserver(o)
+		err := fn(sim.Runner{Workers: parallel, Obs: o, Progress: progress})
+		experiments.SetObserver(prev)
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			return nil
+		}
+		if err := os.MkdirAll(cfg.traceOut, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(cfg.traceOut, "TRACE_"+name+".jsonl")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s (%d older events dropped; raise -trace-cap)\n", rec.Len(), path, d)
+		} else {
+			fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", rec.Len(), path)
+		}
+		return nil
+	}
+
+	if err := runExperiment("fig3", func(sim.Runner) error {
 		res, err := experiments.Figure3Ctx(ctx, seed, parallel)
 		if err != nil {
 			return err
@@ -216,11 +270,11 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := emit("fig3", res); err != nil {
-			return err
-		}
+		return emit("fig3", res)
+	}); err != nil {
+		return err
 	}
-	if all || cfg.experiment == "fig5" {
+	if err := runExperiment("fig5", func(sim.Runner) error {
 		res, err := experiments.Figure5Ctx(ctx, experiments.Figure5Config{Seed: seed, Runs: runs, Round: rounds, Workers: parallel})
 		if err != nil {
 			return err
@@ -229,11 +283,11 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := emit("fig5", res); err != nil {
-			return err
-		}
+		return emit("fig5", res)
+	}); err != nil {
+		return err
 	}
-	if all || cfg.experiment == "fig6" {
+	if err := runExperiment("fig6", func(sim.Runner) error {
 		fcfg := experiments.DefaultFigure6Config()
 		fcfg.Seed = seed
 		fcfg.Workers = parallel
@@ -264,11 +318,11 @@ func run(ctx context.Context, cfg benchConfig) error {
 		series := func(r *experiments.Figure6Result) locSeries {
 			return locSeries{Location: string(rune(r.Location)), RunBERs: r.RunBERs, P50: r.P50, P90: r.P90}
 		}
-		if err := emit("fig6", map[string]locSeries{"A": series(a), "B": series(b)}); err != nil {
-			return err
-		}
+		return emit("fig6", map[string]locSeries{"A": series(a), "B": series(b)})
+	}); err != nil {
+		return err
 	}
-	if all || cfg.experiment == "s41" {
+	if err := runExperiment("s41", func(sim.Runner) error {
 		res, err := experiments.Section41SweepCtx(ctx, parallel)
 		if err != nil {
 			return err
@@ -277,11 +331,11 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := emit("s41", res); err != nil {
-			return err
-		}
+		return emit("s41", res)
+	}); err != nil {
+		return err
 	}
-	if all || cfg.experiment == "compare" {
+	if err := runExperiment("compare", func(sim.Runner) error {
 		res, err := experiments.PriorSystemComparison(seed)
 		if err != nil {
 			return err
@@ -290,11 +344,11 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := emit("compare", res); err != nil {
-			return err
-		}
+		return emit("compare", res)
+	}); err != nil {
+		return err
 	}
-	if all || cfg.experiment == "power" {
+	if err := runExperiment("power", func(runner sim.Runner) error {
 		res, err := experiments.Section7PowerCtx(ctx, runner, seed)
 		if err != nil {
 			return err
@@ -303,11 +357,11 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := emit("power", res); err != nil {
-			return err
-		}
+		return emit("power", res)
+	}); err != nil {
+		return err
 	}
-	if all || cfg.experiment == "ablations" {
+	if err := runExperiment("ablations", func(runner sim.Runner) error {
 		type ablation struct {
 			name string
 			run  func() (*experiments.AblationResult, error)
@@ -340,11 +394,11 @@ func run(ctx context.Context, cfg benchConfig) error {
 			fmt.Println(res.Render())
 			ablationSeries[a.name] = res
 		}
-		if err := emit("ablations", ablationSeries); err != nil {
-			return err
-		}
+		return emit("ablations", ablationSeries)
+	}); err != nil {
+		return err
 	}
-	if all || cfg.experiment == "robustness" {
+	if err := runExperiment("robustness", func(sim.Runner) error {
 		rcfg := experiments.DefaultRobustnessConfig()
 		rcfg.Seed = seed
 		rcfg.Workers = parallel
@@ -358,9 +412,9 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if err := res.ShapeChecks(); err != nil {
 			return err
 		}
-		if err := emit("robustness", res); err != nil {
-			return err
-		}
+		return emit("robustness", res)
+	}); err != nil {
+		return err
 	}
 	return nil
 }

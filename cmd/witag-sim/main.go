@@ -238,23 +238,17 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 	trials := make([]sim.Trial, runs)
 	for i := range trials {
 		runLabel := fmt.Sprintf("run=%d", i)
-		traceID := i
 		trials[i] = sim.Trial{
 			Build: func() (*core.System, *channel.Environment, error) {
-				sys, env, err := cfg.build(stats.SubSeed(seed, "sim", runLabel))
-				if err != nil {
-					return nil, nil, err
-				}
-				sys.Obs = observer
-				sys.TraceID = traceID
-				if sys.Faults != nil {
-					sys.Faults.Obs = observer
-					sys.Faults.TraceID = traceID
-				}
-				return sys, env, nil
+				return cfg.build(stats.SubSeed(seed, "sim", runLabel))
 			},
 			Rounds:   rounds,
 			DataSeed: stats.SubSeed(seed, "sim", runLabel, "data"),
+			// Trial.Run stamps the observer and trace identity onto the
+			// system (and its fault injector) after Build.
+			ID:     i,
+			Labels: "sim/" + runLabel,
+			Obs:    observer,
 		}
 	}
 	runStats, err := sim.Runner{Workers: parallel, Obs: observer, Progress: prog}.RunTrials(ctx, trials)

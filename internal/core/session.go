@@ -61,6 +61,10 @@ type System struct {
 	// TraceID labels this deployment's trace events (the trial index in
 	// Monte-Carlo campaigns).
 	TraceID int
+	// TraceLabels is the deployment's stats.SubSeed label path (e.g.
+	// "fig5/d=3/run=2"), stamped into every trace event so a forensic
+	// replay can rebuild the exact seed tree for this one trial.
+	TraceLabels string
 
 	rng      *rand.Rand
 	roundSeq int
@@ -364,9 +368,11 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 		o.Trace.Record(obs.Event{
 			Kind:      "round",
 			Trial:     s.TraceID,
+			Labels:    s.TraceLabels,
 			Round:     s.roundSeq,
 			Detected:  detected,
 			BALost:    baLost,
+			Bits:      len(txBits),
 			BitErrors: res.BitErrors,
 			AirtimeUs: res.Airtime.Microseconds(),
 			SNRmDb:    int64(math.Round(res.SNRDb * 1000)),

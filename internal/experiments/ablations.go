@@ -9,6 +9,7 @@ import (
 	"witag/internal/core"
 	"witag/internal/crypto80211"
 	"witag/internal/dot11"
+	"witag/internal/obs"
 	"witag/internal/sim"
 	"witag/internal/stats"
 	"witag/internal/tag"
@@ -23,6 +24,11 @@ import (
 // runner fans the configurations across workers; each worker builds its
 // own copy of the environment, so the comparison stays paired and the
 // rows come back in configuration order regardless of scheduling.
+//
+// Each ablation's per-configuration body is a named row function taking
+// the configuration index and an explicit observer, so forensic replay
+// can re-run exactly one flagged configuration with a fresh recorder
+// (labels "ablation/<name>/cfg=<i>").
 
 // AblationRow is one configuration of any ablation.
 type AblationRow struct {
@@ -51,6 +57,28 @@ func (r *AblationResult) Render() string {
 	return b.String()
 }
 
+// ablationRowCount returns how many configurations the named ablation
+// sweeps; replay uses it to validate a requested index.
+func ablationRowCount(name string) (int, error) {
+	switch name {
+	case "switch":
+		return 2, nil
+	case "trigger", "ampdu", "mcs":
+		return 4, nil
+	case "fec", "crypto":
+		return 3, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown ablation %q", name)
+	}
+}
+
+// stampAblation wires one ablation configuration's trace identity.
+func stampAblation(sys *core.System, name string, i int, o *obs.Observer) {
+	sys.Obs = o
+	sys.TraceID = i
+	sys.TraceLabels = fmt.Sprintf("ablation/%s/cfg=%d", name, i)
+}
+
 // AblationSwitchMode compares §5.2's phase-flip signalling with the naive
 // open/short design at the worst-case (mid-span) tag position.
 func AblationSwitchMode(seed int64, rounds int) (*AblationResult, error) {
@@ -59,36 +87,8 @@ func AblationSwitchMode(seed int64, rounds int) (*AblationResult, error) {
 
 // AblationSwitchModeCtx is AblationSwitchMode on an explicit runner.
 func AblationSwitchModeCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
-	envSeed := stats.SubSeed(seed, "ablation/switch")
-	dataSeed := stats.SubSeed(seed, "ablation/switch", "data")
-	modes := []struct {
-		label      string
-		rest, flip tag.SwitchState
-	}{
-		{"0°/180° phase flip (WiTAG)", tag.Phase0, tag.Phase180},
-		{"reflective/non-reflective", tag.Short, tag.Open},
-	}
-	rows, err := sim.Map(ctx, r, len(modes), func(ctx context.Context, i int) (AblationRow, error) {
-		mode := modes[i]
-		sys, env, err := LoSTestbed(4, envSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		sys.Tag.RestState = mode.rest
-		sys.Tag.FlipState = mode.flip
-		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		rate, err := sys.TagRateBps()
-		if err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{
-			Label: mode.label, BER: rs.BER, RateKbps: rate / 1e3,
-			GoodputKbps: rate / 1e3 * (1 - rs.BER),
-			Note:        "paper: flip doubles |Δh|",
-		}, nil
+	rows, err := sim.Map(ctx, r, 2, func(ctx context.Context, i int) (AblationRow, error) {
+		return ablationSwitchRow(ctx, seed, rounds, i, currentObserver())
 	})
 	if err != nil {
 		return nil, err
@@ -101,6 +101,42 @@ func AblationSwitchModeCtx(ctx context.Context, r sim.Runner, seed int64, rounds
 	return res, nil
 }
 
+func ablationSwitchRow(ctx context.Context, seed int64, rounds, i int, o *obs.Observer) (AblationRow, error) {
+	envSeed := stats.SubSeed(seed, "ablation/switch")
+	dataSeed := stats.SubSeed(seed, "ablation/switch", "data")
+	modes := []struct {
+		label      string
+		rest, flip tag.SwitchState
+	}{
+		{"0°/180° phase flip (WiTAG)", tag.Phase0, tag.Phase180},
+		{"reflective/non-reflective", tag.Short, tag.Open},
+	}
+	if i < 0 || i >= len(modes) {
+		return AblationRow{}, fmt.Errorf("experiments: switch config %d outside [0,%d)", i, len(modes))
+	}
+	mode := modes[i]
+	sys, env, err := LoSTestbed(4, envSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	stampAblation(sys, "switch", i, o)
+	sys.Tag.RestState = mode.rest
+	sys.Tag.FlipState = mode.flip
+	rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	rate, err := sys.TagRateBps()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Label: mode.label, BER: rs.BER, RateKbps: rate / 1e3,
+		GoodputKbps: rate / 1e3 * (1 - rs.BER),
+		Note:        "paper: flip doubles |Δh|",
+	}, nil
+}
+
 // AblationTriggerCount sweeps the number of trigger subframes: more
 // triggers improve detection robustness but spend subframes that could
 // carry data (§7 notes the overhead is small against 64-subframe
@@ -111,35 +147,8 @@ func AblationTriggerCount(seed int64, rounds int) (*AblationResult, error) {
 
 // AblationTriggerCountCtx is AblationTriggerCount on an explicit runner.
 func AblationTriggerCountCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
-	envSeed := stats.SubSeed(seed, "ablation/trigger")
-	dataSeed := stats.SubSeed(seed, "ablation/trigger", "data")
-	triggers := []int{2, 4, 8, 16}
-	rows, err := sim.Map(ctx, r, len(triggers), func(ctx context.Context, i int) (AblationRow, error) {
-		tl := triggers[i]
-		sys, env, err := LoSTestbed(2, envSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		sys.Spec.TriggerLen = tl
-		sys.Spec.DataLen = 64 - tl
-		if err := sys.Reshape(); err != nil {
-			return AblationRow{}, err
-		}
-		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		rate, err := sys.TagRateBps()
-		if err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{
-			Label:       fmt.Sprintf("%d triggers + %d data subframes", tl, 64-tl),
-			BER:         rs.BER,
-			RateKbps:    rate / 1e3,
-			GoodputKbps: rate / 1e3 * (1 - rs.BER),
-			Note:        fmt.Sprintf("detection %.2f", rs.DetectionRate),
-		}, nil
+	rows, err := sim.Map(ctx, r, 4, func(ctx context.Context, i int) (AblationRow, error) {
+		return ablationTriggerRow(ctx, seed, rounds, i, currentObserver())
 	})
 	if err != nil {
 		return nil, err
@@ -152,6 +161,41 @@ func AblationTriggerCountCtx(ctx context.Context, r sim.Runner, seed int64, roun
 	return res, nil
 }
 
+func ablationTriggerRow(ctx context.Context, seed int64, rounds, i int, o *obs.Observer) (AblationRow, error) {
+	envSeed := stats.SubSeed(seed, "ablation/trigger")
+	dataSeed := stats.SubSeed(seed, "ablation/trigger", "data")
+	triggers := []int{2, 4, 8, 16}
+	if i < 0 || i >= len(triggers) {
+		return AblationRow{}, fmt.Errorf("experiments: trigger config %d outside [0,%d)", i, len(triggers))
+	}
+	tl := triggers[i]
+	sys, env, err := LoSTestbed(2, envSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	stampAblation(sys, "trigger", i, o)
+	sys.Spec.TriggerLen = tl
+	sys.Spec.DataLen = 64 - tl
+	if err := sys.Reshape(); err != nil {
+		return AblationRow{}, err
+	}
+	rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	rate, err := sys.TagRateBps()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Label:       fmt.Sprintf("%d triggers + %d data subframes", tl, 64-tl),
+		BER:         rs.BER,
+		RateKbps:    rate / 1e3,
+		GoodputKbps: rate / 1e3 * (1 - rs.BER),
+		Note:        fmt.Sprintf("detection %.2f", rs.DetectionRate),
+	}, nil
+}
+
 // AblationFEC compares raw tag bits against CRC-framed and FEC-framed
 // transfers — the error-handling layer §4.1 leaves to future work. The
 // metric is application goodput: payload bits delivered in verified frames
@@ -162,6 +206,16 @@ func AblationFEC(seed int64, frames int) (*AblationResult, error) {
 
 // AblationFECCtx is AblationFEC on an explicit runner.
 func AblationFECCtx(ctx context.Context, r sim.Runner, seed int64, frames int) (*AblationResult, error) {
+	rows, err := sim.Map(ctx, r, 3, func(ctx context.Context, i int) (AblationRow, error) {
+		return ablationFECRow(ctx, seed, frames, i, currentObserver())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Title: "tag-data framing and FEC (tag at 2 m, BER ≈ 0.5%)", Rows: rows}, nil
+}
+
+func ablationFECRow(ctx context.Context, seed int64, frames, i int, o *obs.Observer) (AblationRow, error) {
 	envSeed := stats.SubSeed(seed, "ablation/fec")
 	payloadSeed := stats.SubSeed(seed, "ablation/fec", "payload")
 	const payloadBytes = 16
@@ -173,66 +227,64 @@ func AblationFECCtx(ctx context.Context, r sim.Runner, seed int64, frames int) (
 		{"SECDED(8,4) FEC", core.Codec{FEC: true}},
 		{"SECDED + depth-12 interleaver", core.Codec{FEC: true, InterleaveDepth: 12}},
 	}
-	rows, err := sim.Map(ctx, r, len(configs), func(ctx context.Context, i int) (AblationRow, error) {
-		cfg := configs[i]
-		sys, env, err := LoSTestbed(2, envSeed)
+	if i < 0 || i >= len(configs) {
+		return AblationRow{}, fmt.Errorf("experiments: fec config %d outside [0,%d)", i, len(configs))
+	}
+	cfg := configs[i]
+	sys, env, err := LoSTestbed(2, envSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	stampAblation(sys, "fec", i, o)
+	// Every codec transfers the same payload sequence.
+	rng := stats.NewRNG(payloadSeed)
+	delivered, attempts, rounds := 0, 0, 0
+	var airtime time.Duration
+	var berSum float64
+	for f := 0; f < frames; f++ {
+		if err := ctx.Err(); err != nil {
+			return AblationRow{}, err
+		}
+		payload := stats.RandomBytes(rng, payloadBytes)
+		bits, err := cfg.codec.Encode(payload)
 		if err != nil {
 			return AblationRow{}, err
 		}
-		// Every codec transfers the same payload sequence.
-		rng := stats.NewRNG(payloadSeed)
-		delivered, attempts, rounds := 0, 0, 0
-		var airtime time.Duration
-		var berSum float64
-		for f := 0; f < frames; f++ {
-			if err := ctx.Err(); err != nil {
-				return AblationRow{}, err
+		var rx []byte
+		for off := 0; off < len(bits); off += sys.Spec.DataLen {
+			end := off + sys.Spec.DataLen
+			if end > len(bits) {
+				end = len(bits)
 			}
-			payload := stats.RandomBytes(rng, payloadBytes)
-			bits, err := cfg.codec.Encode(payload)
+			env.Advance(0.05)
+			res, err := sys.QueryRound(bits[off:end])
 			if err != nil {
 				return AblationRow{}, err
 			}
-			var rx []byte
-			for off := 0; off < len(bits); off += sys.Spec.DataLen {
-				end := off + sys.Spec.DataLen
-				if end > len(bits) {
-					end = len(bits)
-				}
-				env.Advance(0.05)
-				res, err := sys.QueryRound(bits[off:end])
-				if err != nil {
-					return AblationRow{}, err
-				}
-				rx = append(rx, res.RxBits[:end-off]...)
-				airtime += res.Airtime
-				berSum += res.BER()
-				rounds++
-			}
-			attempts++
-			got, _, err := cfg.codec.Decode(rx)
-			if err == nil && string(got) == string(payload) {
-				delivered++
-			}
+			rx = append(rx, res.RxBits[:end-off]...)
+			airtime += res.Airtime
+			berSum += res.BER()
+			rounds++
 		}
-		goodput := float64(delivered*payloadBytes*8) / airtime.Seconds() / 1e3
-		rate, err := sys.TagRateBps()
-		if err != nil {
-			return AblationRow{}, err
+		attempts++
+		got, _, err := cfg.codec.Decode(rx)
+		if err == nil && string(got) == string(payload) {
+			delivered++
 		}
-		expansion := float64(cfg.codec.EncodedBits(payloadBytes)) / float64(payloadBytes*8)
-		return AblationRow{
-			Label:       cfg.label,
-			BER:         berSum / float64(rounds),
-			RateKbps:    rate / 1e3,
-			GoodputKbps: goodput,
-			Note:        fmt.Sprintf("%d/%d frames verified, %.1fx coding expansion", delivered, attempts, expansion),
-		}, nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return &AblationResult{Title: "tag-data framing and FEC (tag at 2 m, BER ≈ 0.5%)", Rows: rows}, nil
+	goodput := float64(delivered*payloadBytes*8) / airtime.Seconds() / 1e3
+	rate, err := sys.TagRateBps()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	expansion := float64(cfg.codec.EncodedBits(payloadBytes)) / float64(payloadBytes*8)
+	return AblationRow{
+		Label:       cfg.label,
+		BER:         berSum / float64(rounds),
+		RateKbps:    rate / 1e3,
+		GoodputKbps: goodput,
+		Note:        fmt.Sprintf("%d/%d frames verified, %.1fx coding expansion", delivered, attempts, expansion),
+	}, nil
 }
 
 // AblationAMPDUSize sweeps aggregate size at the default MCS.
@@ -242,34 +294,8 @@ func AblationAMPDUSize(seed int64, rounds int) (*AblationResult, error) {
 
 // AblationAMPDUSizeCtx is AblationAMPDUSize on an explicit runner.
 func AblationAMPDUSizeCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
-	envSeed := stats.SubSeed(seed, "ablation/ampdu")
-	dataSeed := stats.SubSeed(seed, "ablation/ampdu", "data")
-	sizes := []int{8, 16, 32, 64}
-	rows, err := sim.Map(ctx, r, len(sizes), func(ctx context.Context, i int) (AblationRow, error) {
-		total := sizes[i]
-		sys, env, err := LoSTestbed(2, envSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		sys.Spec.TriggerLen = 4
-		sys.Spec.DataLen = total - 4
-		if err := sys.Reshape(); err != nil {
-			return AblationRow{}, err
-		}
-		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		rate, err := sys.TagRateBps()
-		if err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{
-			Label:       fmt.Sprintf("%d subframes", total),
-			BER:         rs.BER,
-			RateKbps:    rate / 1e3,
-			GoodputKbps: rate / 1e3 * (1 - rs.BER),
-		}, nil
+	rows, err := sim.Map(ctx, r, 4, func(ctx context.Context, i int) (AblationRow, error) {
+		return ablationAMPDURow(ctx, seed, rounds, i, currentObserver())
 	})
 	if err != nil {
 		return nil, err
@@ -281,6 +307,40 @@ func AblationAMPDUSizeCtx(ctx context.Context, r sim.Runner, seed int64, rounds 
 	return res, nil
 }
 
+func ablationAMPDURow(ctx context.Context, seed int64, rounds, i int, o *obs.Observer) (AblationRow, error) {
+	envSeed := stats.SubSeed(seed, "ablation/ampdu")
+	dataSeed := stats.SubSeed(seed, "ablation/ampdu", "data")
+	sizes := []int{8, 16, 32, 64}
+	if i < 0 || i >= len(sizes) {
+		return AblationRow{}, fmt.Errorf("experiments: ampdu config %d outside [0,%d)", i, len(sizes))
+	}
+	total := sizes[i]
+	sys, env, err := LoSTestbed(2, envSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	stampAblation(sys, "ampdu", i, o)
+	sys.Spec.TriggerLen = 4
+	sys.Spec.DataLen = total - 4
+	if err := sys.Reshape(); err != nil {
+		return AblationRow{}, err
+	}
+	rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	rate, err := sys.TagRateBps()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Label:       fmt.Sprintf("%d subframes", total),
+		BER:         rs.BER,
+		RateKbps:    rate / 1e3,
+		GoodputKbps: rate / 1e3 * (1 - rs.BER),
+	}, nil
+}
+
 // AblationRobustRate sweeps the query MCS: too aggressive a rate confuses
 // path-loss failures with tag zeros (§4.1's robust-rate rule).
 func AblationRobustRate(seed int64, rounds int) (*AblationResult, error) {
@@ -289,47 +349,55 @@ func AblationRobustRate(seed int64, rounds int) (*AblationResult, error) {
 
 // AblationRobustRateCtx is AblationRobustRate on an explicit runner.
 func AblationRobustRateCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
-	envSeed := stats.SubSeed(seed, "ablation/mcs")
-	dataSeed := stats.SubSeed(seed, "ablation/mcs", "data")
-	idxs := []int{0, 2, 4, 7}
-	rows, err := sim.Map(ctx, r, len(idxs), func(ctx context.Context, i int) (AblationRow, error) {
-		idx := idxs[i]
-		sys, env, err := LoSTestbed(2, envSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		m, err := dot11.HTMCS(idx)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		sys.Spec.MCS = m
-		if err := sys.Reshape(); err != nil {
-			return AblationRow{}, err
-		}
-		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		rate, err := sys.TagRateBps()
-		if err != nil {
-			return AblationRow{}, err
-		}
-		note := ""
-		if rs.BER > 0.3 {
-			note = "modulation too robust: the tag cannot corrupt it"
-		}
-		return AblationRow{
-			Label:       fmt.Sprintf("MCS%d", idx),
-			BER:         rs.BER,
-			RateKbps:    rate / 1e3,
-			GoodputKbps: rate / 1e3 * (1 - rs.BER),
-			Note:        note,
-		}, nil
+	rows, err := sim.Map(ctx, r, 4, func(ctx context.Context, i int) (AblationRow, error) {
+		return ablationMCSRow(ctx, seed, rounds, i, currentObserver())
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &AblationResult{Title: "query MCS (robust-rate rule)", Rows: rows}, nil
+}
+
+func ablationMCSRow(ctx context.Context, seed int64, rounds, i int, o *obs.Observer) (AblationRow, error) {
+	envSeed := stats.SubSeed(seed, "ablation/mcs")
+	dataSeed := stats.SubSeed(seed, "ablation/mcs", "data")
+	idxs := []int{0, 2, 4, 7}
+	if i < 0 || i >= len(idxs) {
+		return AblationRow{}, fmt.Errorf("experiments: mcs config %d outside [0,%d)", i, len(idxs))
+	}
+	idx := idxs[i]
+	sys, env, err := LoSTestbed(2, envSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	stampAblation(sys, "mcs", i, o)
+	m, err := dot11.HTMCS(idx)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	sys.Spec.MCS = m
+	if err := sys.Reshape(); err != nil {
+		return AblationRow{}, err
+	}
+	rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	rate, err := sys.TagRateBps()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	note := ""
+	if rs.BER > 0.3 {
+		note = "modulation too robust: the tag cannot corrupt it"
+	}
+	return AblationRow{
+		Label:       fmt.Sprintf("MCS%d", idx),
+		BER:         rs.BER,
+		RateKbps:    rate / 1e3,
+		GoodputKbps: rate / 1e3 * (1 - rs.BER),
+		Note:        note,
+	}, nil
 }
 
 // AblationEncryption re-runs the near-client deployment on open, WEP and
@@ -340,49 +408,8 @@ func AblationEncryption(seed int64, rounds int) (*AblationResult, error) {
 
 // AblationEncryptionCtx is AblationEncryption on an explicit runner.
 func AblationEncryptionCtx(ctx context.Context, r sim.Runner, seed int64, rounds int) (*AblationResult, error) {
-	envSeed := stats.SubSeed(seed, "ablation/crypto")
-	dataSeed := stats.SubSeed(seed, "ablation/crypto", "data")
-	modes := []string{"open", "WEP-104", "WPA2-CCMP"}
-	rows, err := sim.Map(ctx, r, len(modes), func(ctx context.Context, i int) (AblationRow, error) {
-		mode := modes[i]
-		sys, env, err := LoSTestbed(1, envSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		switch mode {
-		case "WEP-104":
-			c, err := crypto80211.NewWEP(make([]byte, 13), 0)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			sys.Cipher = c
-			sys.Scheduler.Cipher = c
-		case "WPA2-CCMP":
-			c, err := crypto80211.NewCCMP(make([]byte, 16), [6]byte{2, 0, 0, 0, 0, 0x10}, 0)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			sys.Cipher = c
-			sys.Scheduler.Cipher = c
-		}
-		if err := sys.Reshape(); err != nil {
-			return AblationRow{}, err
-		}
-		rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		rate, err := sys.TagRateBps()
-		if err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{
-			Label:       mode,
-			BER:         rs.BER,
-			RateKbps:    rate / 1e3,
-			GoodputKbps: rate / 1e3 * (1 - rs.BER),
-			Note:        fmt.Sprintf("%d-tick subframes", sys.Spec.TicksPerSubframe),
-		}, nil
+	rows, err := sim.Map(ctx, r, 3, func(ctx context.Context, i int) (AblationRow, error) {
+		return ablationCryptoRow(ctx, seed, rounds, i, currentObserver())
 	})
 	if err != nil {
 		return nil, err
@@ -396,4 +423,53 @@ func AblationEncryptionCtx(ctx context.Context, r sim.Runner, seed int64, rounds
 		}
 	}
 	return res, nil
+}
+
+func ablationCryptoRow(ctx context.Context, seed int64, rounds, i int, o *obs.Observer) (AblationRow, error) {
+	envSeed := stats.SubSeed(seed, "ablation/crypto")
+	dataSeed := stats.SubSeed(seed, "ablation/crypto", "data")
+	modes := []string{"open", "WEP-104", "WPA2-CCMP"}
+	if i < 0 || i >= len(modes) {
+		return AblationRow{}, fmt.Errorf("experiments: crypto config %d outside [0,%d)", i, len(modes))
+	}
+	mode := modes[i]
+	sys, env, err := LoSTestbed(1, envSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	stampAblation(sys, "crypto", i, o)
+	switch mode {
+	case "WEP-104":
+		c, err := crypto80211.NewWEP(make([]byte, 13), 0)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		sys.Cipher = c
+		sys.Scheduler.Cipher = c
+	case "WPA2-CCMP":
+		c, err := crypto80211.NewCCMP(make([]byte, 16), [6]byte{2, 0, 0, 0, 0, 0x10}, 0)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		sys.Cipher = c
+		sys.Scheduler.Cipher = c
+	}
+	if err := sys.Reshape(); err != nil {
+		return AblationRow{}, err
+	}
+	rs, err := sim.MeasureRun(ctx, sys, env, rounds, dataSeed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	rate, err := sys.TagRateBps()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Label:       mode,
+		BER:         rs.BER,
+		RateKbps:    rate / 1e3,
+		GoodputKbps: rate / 1e3 * (1 - rs.BER),
+		Note:        fmt.Sprintf("%d-tick subframes", sys.Spec.TicksPerSubframe),
+	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"witag/internal/baselines"
+	"witag/internal/obs"
 	"witag/internal/sim"
 	"witag/internal/stats"
 	"witag/internal/tag"
@@ -93,14 +94,25 @@ func Section7Power(seed int64) (*PowerResult, error) {
 // configurations fan across workers, each measured in its own copy of the
 // same seeded deployment so the comparison stays paired.
 func Section7PowerCtx(ctx context.Context, r sim.Runner, seed int64) (*PowerResult, error) {
-	envSeed := stats.SubSeed(seed, "power")
-	dataSeed := stats.SubSeed(seed, "power", "data")
-	configs := []struct {
-		label string
-		kind  tag.OscillatorKind
-		freq  float64
-		mk    func() *tag.Clock
-	}{
+	rows, err := sim.Map(ctx, r, len(powerConfigs()), func(ctx context.Context, i int) (PowerRow, error) {
+		return powerRow(ctx, seed, i, currentObserver())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PowerResult{Rows: rows}, nil
+}
+
+// powerConfig is one §7 oscillator configuration.
+type powerConfig struct {
+	label string
+	kind  tag.OscillatorKind
+	freq  float64
+	mk    func() *tag.Clock
+}
+
+func powerConfigs() []powerConfig {
+	return []powerConfig{
 		{"WiTAG 50 kHz crystal", tag.CrystalOscillator, 50e3,
 			func() *tag.Clock { return tag.NewCrystal50kHz(nil) }},
 		{"shifting 20 MHz crystal", tag.CrystalOscillator, 20e6,
@@ -114,49 +126,62 @@ func Section7PowerCtx(ctx context.Context, r sim.Runner, seed int64) (*PowerResu
 		{"WiTAG on 50 kHz ring", tag.RingOscillator, 50e3,
 			func() *tag.Clock { return tag.NewRingOscillator(50e3, nil) }},
 	}
-	harvester := tag.Harvester{IncomeW: 5e-6, StorageJ: 0.01}
-	rows, err := sim.Map(ctx, r, len(configs), func(ctx context.Context, i int) (PowerRow, error) {
-		c := configs[i]
-		p, err := tag.OscillatorPowerW(c.kind, c.freq)
-		if err != nil {
-			return PowerRow{}, err
-		}
-		budget := tag.Budget{
-			Oscillator: c.kind, ClockHz: c.freq,
-			SwitchEnergyJ: 10e-12, TogglesPerSecond: 40_000,
-			ComparatorW: 300e-9, LogicW: 500e-9,
-		}
-		ok, _, err := harvester.BatteryFreeFeasible(budget)
-		if err != nil {
-			return PowerRow{}, err
-		}
-		clk := c.mk()
-		drift := clk.EffectiveHz(30) - clk.EffectiveHz(25)
-		if drift < 0 {
-			drift = -drift
-		}
+}
 
-		// End-to-end BER with this clock driving the tag, room at 35 °C.
-		sys, env, err := LoSTestbed(1, envSeed)
-		if err != nil {
-			return PowerRow{}, err
-		}
-		sys.Tag.Clock = c.mk()
-		sys.TempC = 35
-		rs, err := sim.MeasureRun(ctx, sys, env, 250, dataSeed)
-		if err != nil {
-			return PowerRow{}, err
-		}
+// powerRows is the fixed per-configuration round count of the §7 table.
+const powerRows = 250
 
-		return PowerRow{
-			Label: c.label, Kind: c.kind, FreqHz: c.freq, PowerW: p,
-			Drift5CHz: drift, BatteryFree: ok, TagBERAt35C: rs.BER,
-		}, nil
-	})
-	if err != nil {
-		return nil, err
+// powerRow measures configuration i of the §7 table: oscillator power and
+// drift plus the end-to-end BER with that clock driving the tag at 35 °C.
+// Extracted from the campaign loop so forensic replay can re-run one
+// configuration with a fresh observer (labels "power/cfg=<i>").
+func powerRow(ctx context.Context, seed int64, i int, o *obs.Observer) (PowerRow, error) {
+	configs := powerConfigs()
+	if i < 0 || i >= len(configs) {
+		return PowerRow{}, fmt.Errorf("experiments: power config %d outside [0,%d)", i, len(configs))
 	}
-	return &PowerResult{Rows: rows}, nil
+	envSeed := stats.SubSeed(seed, "power")
+	dataSeed := stats.SubSeed(seed, "power", "data")
+	harvester := tag.Harvester{IncomeW: 5e-6, StorageJ: 0.01}
+	c := configs[i]
+	p, err := tag.OscillatorPowerW(c.kind, c.freq)
+	if err != nil {
+		return PowerRow{}, err
+	}
+	budget := tag.Budget{
+		Oscillator: c.kind, ClockHz: c.freq,
+		SwitchEnergyJ: 10e-12, TogglesPerSecond: 40_000,
+		ComparatorW: 300e-9, LogicW: 500e-9,
+	}
+	ok, _, err := harvester.BatteryFreeFeasible(budget)
+	if err != nil {
+		return PowerRow{}, err
+	}
+	clk := c.mk()
+	drift := clk.EffectiveHz(30) - clk.EffectiveHz(25)
+	if drift < 0 {
+		drift = -drift
+	}
+
+	// End-to-end BER with this clock driving the tag, room at 35 °C.
+	sys, env, err := LoSTestbed(1, envSeed)
+	if err != nil {
+		return PowerRow{}, err
+	}
+	sys.Obs = o
+	sys.TraceID = i
+	sys.TraceLabels = fmt.Sprintf("power/cfg=%d", i)
+	sys.Tag.Clock = c.mk()
+	sys.TempC = 35
+	rs, err := sim.MeasureRun(ctx, sys, env, powerRows, dataSeed)
+	if err != nil {
+		return PowerRow{}, err
+	}
+
+	return PowerRow{
+		Label: c.label, Kind: c.kind, FreqHz: c.freq, PowerW: p,
+		Drift5CHz: drift, BatteryFree: ok, TagBERAt35C: rs.BER,
+	}, nil
 }
 
 // Render prints the table.

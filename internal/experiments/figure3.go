@@ -54,6 +54,11 @@ func Figure3Ctx(ctx context.Context, seed int64, workers int) (*Figure3Result, e
 		if err != nil {
 			return Figure3Point{}, err
 		}
+		// This sweep never calls QueryRound, so no trace events exist to
+		// replay; the identity is stamped anyway so any future event from
+		// this deployment is attributable.
+		sys.TraceID = i
+		sys.TraceLabels = fmt.Sprintf("fig3/d=%g", d)
 		sw := sys.Tag.Switch
 		mk := func(st tag.SwitchState) (*channel.TagReflection, error) {
 			if err := sw.Set(st); err != nil {

@@ -85,6 +85,8 @@ func Figure5Ctx(ctx context.Context, cfg Figure5Config) (*Figure5Result, error) 
 				},
 				Rounds:   cfg.Round,
 				DataSeed: stats.SubSeed(cfg.Seed, "fig5", dLabel, runLabel, "data"),
+				ID:       len(trials),
+				Labels:   "fig5/" + dLabel + "/" + runLabel,
 			})
 		}
 	}

@@ -62,6 +62,8 @@ func Figure6Ctx(ctx context.Context, loc NLoSLocation, cfg Figure6Config) (*Figu
 			},
 			Rounds:   cfg.Round,
 			DataSeed: stats.SubSeed(cfg.Seed, "fig6", locLabel, runLabel, "data"),
+			ID:       run,
+			Labels:   "fig6/" + locLabel + "/" + runLabel,
 		}
 	}
 	runStats, err := simRunner(cfg.Workers).RunTrials(ctx, trials)

@@ -8,6 +8,7 @@ import (
 
 	"witag/internal/fault"
 	"witag/internal/link"
+	"witag/internal/obs"
 	"witag/internal/sim"
 	"witag/internal/stats"
 )
@@ -115,61 +116,7 @@ func RobustnessCtx(ctx context.Context, cfg RobustnessConfig) (*RobustnessResult
 			pi := i / perPoint
 			mode := i % perPoint / cfg.Transfers
 			tr := i % cfg.Transfers
-			prof := base
-			prof.LossBad = cfg.LossBadPoints[pi]
-
-			// Both modes rebuild the same labeled world — environment,
-			// fault stream and payload — so the comparison isolates the
-			// transfer policy (the paired-trial pattern of DESIGN.md §8).
-			world := []string{"robust", fmt.Sprintf("lb=%g", prof.LossBad), fmt.Sprintf("tr=%d", tr)}
-			label := func(leaf string) int64 {
-				return stats.SubSeed(cfg.Seed, append(append([]string(nil), world...), leaf)...)
-			}
-			sys, env, err := LoSTestbed(2, label("env"))
-			if err != nil {
-				return robustnessTrial{}, err
-			}
-			sys.TraceID = i
-			sys.Faults, err = fault.NewInjector(prof, label("fault"))
-			if err != nil {
-				return robustnessTrial{}, err
-			}
-			sys.Faults.Obs = currentObserver()
-			sys.Faults.TraceID = i
-			payload := stats.RandomBytes(stats.NewRNG(label("payload")), cfg.PayloadBytes)
-
-			pol := link.DefaultPolicy()
-			var cc *link.CodingController
-			if mode == 0 {
-				pol.RetryBudget = 0
-				cc = link.NewFixedController(link.DefaultLadder()[1])
-			} else {
-				cc, err = link.NewCodingController(0)
-				if err != nil {
-					return robustnessTrial{}, err
-				}
-			}
-			xfer := link.NewTransferer(sys, env, pol, cc, label("arq"))
-			xfer.Obs = currentObserver()
-			xfer.TraceID = i
-			st, err := xfer.Send(ctx, payload)
-			if err != nil {
-				return robustnessTrial{}, err
-			}
-			if st.Delivered && !bytes.Equal(st.Received, payload) {
-				return robustnessTrial{}, fmt.Errorf("experiments: ARQ delivered a corrupted payload at lb=%g tr=%d", prof.LossBad, tr)
-			}
-			return robustnessTrial{
-				delivered: st.Delivered,
-				retries:   st.Retries,
-				rounds:    st.Rounds,
-				level:     st.FinalLevel,
-				goodput:   st.GoodputBps(),
-				injSub:    sys.Faults.SubframesLost,
-				injTrig:   sys.Faults.TriggerMisses,
-				injBA:     sys.Faults.BALosses,
-				injBrown:  sys.Faults.Brownouts,
-			}, nil
+			return robustnessTransfer(ctx, cfg, base, cfg.LossBadPoints[pi], mode, i, tr, currentObserver())
 		})
 	if err != nil {
 		return nil, err
@@ -214,6 +161,82 @@ func RobustnessCtx(ctx context.Context, cfg RobustnessConfig) (*RobustnessResult
 		res.Points = append(res.Points, pt)
 	}
 	return res, nil
+}
+
+// robustnessModeName names a transfer mode in seed-label paths.
+func robustnessModeName(mode int) string {
+	if mode == 0 {
+		return "base"
+	}
+	return "arq"
+}
+
+// robustnessTransfer runs exactly one transfer of the sweep: the paired
+// world identified by (lossBad, tr) under the given mode (0: single-shot
+// no-ARQ baseline, 1: selective-repeat ARQ + adaptive coding). Extracted
+// from the campaign closure so forensic replay can re-run one flagged
+// transfer with a fresh observer. Both modes rebuild the same labeled
+// world — environment, fault stream and payload — so the comparison
+// isolates the transfer policy (the paired-trial pattern of DESIGN.md
+// §8); the mode deliberately never enters the seed tree, only the trace
+// label path ("robust/lb=…/tr=…/mode=…").
+func robustnessTransfer(ctx context.Context, cfg RobustnessConfig, base fault.Profile, lossBad float64, mode, traceID, tr int, o *obs.Observer) (robustnessTrial, error) {
+	prof := base
+	prof.LossBad = lossBad
+	world := []string{"robust", fmt.Sprintf("lb=%g", prof.LossBad), fmt.Sprintf("tr=%d", tr)}
+	label := func(leaf string) int64 {
+		return stats.SubSeed(cfg.Seed, append(append([]string(nil), world...), leaf)...)
+	}
+	traceLabels := strings.Join(world, "/") + "/mode=" + robustnessModeName(mode)
+	sys, env, err := LoSTestbed(2, label("env"))
+	if err != nil {
+		return robustnessTrial{}, err
+	}
+	sys.Obs = o
+	sys.TraceID = traceID
+	sys.TraceLabels = traceLabels
+	sys.Faults, err = fault.NewInjector(prof, label("fault"))
+	if err != nil {
+		return robustnessTrial{}, err
+	}
+	sys.Faults.Obs = o
+	sys.Faults.TraceID = traceID
+	sys.Faults.TraceLabels = traceLabels
+	payload := stats.RandomBytes(stats.NewRNG(label("payload")), cfg.PayloadBytes)
+
+	pol := link.DefaultPolicy()
+	var cc *link.CodingController
+	if mode == 0 {
+		pol.RetryBudget = 0
+		cc = link.NewFixedController(link.DefaultLadder()[1])
+	} else {
+		cc, err = link.NewCodingController(0)
+		if err != nil {
+			return robustnessTrial{}, err
+		}
+	}
+	xfer := link.NewTransferer(sys, env, pol, cc, label("arq"))
+	xfer.Obs = o
+	xfer.TraceID = traceID
+	xfer.TraceLabels = traceLabels
+	st, err := xfer.Send(ctx, payload)
+	if err != nil {
+		return robustnessTrial{}, err
+	}
+	if st.Delivered && !bytes.Equal(st.Received, payload) {
+		return robustnessTrial{}, fmt.Errorf("experiments: ARQ delivered a corrupted payload at lb=%g tr=%d", prof.LossBad, tr)
+	}
+	return robustnessTrial{
+		delivered: st.Delivered,
+		retries:   st.Retries,
+		rounds:    st.Rounds,
+		level:     st.FinalLevel,
+		goodput:   st.GoodputBps(),
+		injSub:    sys.Faults.SubframesLost,
+		injTrig:   sys.Faults.TriggerMisses,
+		injBA:     sys.Faults.BALosses,
+		injBrown:  sys.Faults.Brownouts,
+	}, nil
 }
 
 // Render prints the sweep table.

@@ -179,6 +179,9 @@ type Injector struct {
 	Obs *obs.Observer
 	// TraceID labels this injector's trace events.
 	TraceID int
+	// TraceLabels is the injector's stats.SubSeed label path, stamped into
+	// trace events for forensic replay (see core.System.TraceLabels).
+	TraceLabels string
 
 	// Counters for diagnostics and experiment tables.
 	SubframesLost int
@@ -225,7 +228,7 @@ func (in *Injector) TriggerMissed() bool {
 		in.TriggerMisses++
 		if in.Obs != nil {
 			in.Obs.Fault.TriggerMisses.Inc()
-			in.Obs.Trace.Record(obs.Event{Kind: "fault", Trial: in.TraceID, Outcome: "trigger_miss"})
+			in.Obs.Trace.Record(obs.Event{Kind: "fault", Trial: in.TraceID, Labels: in.TraceLabels, Outcome: "trigger_miss"})
 		}
 	}
 	return missed
@@ -238,7 +241,7 @@ func (in *Injector) BALost() bool {
 		in.BALosses++
 		if in.Obs != nil {
 			in.Obs.Fault.BALosses.Inc()
-			in.Obs.Trace.Record(obs.Event{Kind: "fault", Trial: in.TraceID, Outcome: "ba_loss"})
+			in.Obs.Trace.Record(obs.Event{Kind: "fault", Trial: in.TraceID, Labels: in.TraceLabels, Outcome: "ba_loss"})
 		}
 	}
 	return lost
@@ -264,7 +267,7 @@ func (in *Injector) BrownoutWindow(n int) (start, length int, active bool) {
 	}
 	if in.Obs != nil {
 		in.Obs.Fault.Brownouts.Inc()
-		in.Obs.Trace.Record(obs.Event{Kind: "fault", Trial: in.TraceID, Outcome: "brownout", Offset: start, Length: length})
+		in.Obs.Trace.Record(obs.Event{Kind: "fault", Trial: in.TraceID, Labels: in.TraceLabels, Outcome: "brownout", Offset: start, Length: length})
 	}
 	return start, length, true
 }

@@ -1,0 +1,93 @@
+package forensics
+
+import "fmt"
+
+// Thresholds tune the rule-based anomaly flags.
+type Thresholds struct {
+	// BERZ flags a trial whose BER sits at least this many population
+	// standard deviations above the mean BER of its peer trials.
+	BERZ float64
+	// StallAttempts flags a trial whose longest run of consecutive failed
+	// segment attempts reaches this length (an ARQ stall window).
+	StallAttempts int
+	// BurstRounds flags a trial whose longest run of consecutive lost
+	// rounds (missed trigger or lost block ACK) reaches this length.
+	BurstRounds int
+}
+
+// DefaultThresholds are deliberately conservative: on healthy campaigns
+// they flag nothing, so any flag is worth replaying.
+func DefaultThresholds() Thresholds {
+	return Thresholds{BERZ: 3, StallAttempts: 8, BurstRounds: 5}
+}
+
+// Anomaly is one triggered rule on one trial.
+type Anomaly struct {
+	Trial  int     `json:"trial"`
+	Labels string  `json:"labels,omitempty"`
+	Rule   string  `json:"rule"`
+	Value  float64 `json:"value"`
+	Limit  float64 `json:"limit"`
+	Detail string  `json:"detail"`
+}
+
+// Flag runs the anomaly rules over an analysis. Anomalies come out in
+// (rule, trial order) — deterministic for a given analysis.
+func Flag(a *Analysis, th Thresholds) []Anomaly {
+	var out []Anomaly
+
+	// ber_zscore: outlier BER relative to peer trials. Only trials that
+	// transported bits participate, and the rule is skipped entirely when
+	// the population has no spread (std == 0 makes every z undefined) or
+	// fewer than three members (no notion of an outlier).
+	var bers []float64
+	var idx []int
+	for i, ts := range a.Trials {
+		if ts.Bits > 0 {
+			bers = append(bers, ts.BER)
+			idx = append(idx, i)
+		}
+	}
+	if len(bers) >= 3 {
+		mean, std := meanStd(bers)
+		if std > 0 {
+			for j, ber := range bers {
+				z := (ber - mean) / std
+				if z >= th.BERZ {
+					ts := a.Trials[idx[j]]
+					out = append(out, Anomaly{
+						Trial: ts.Trial, Labels: ts.Labels,
+						Rule: "ber_zscore", Value: z, Limit: th.BERZ,
+						Detail: fmt.Sprintf("BER %.5f is %.1fσ above the campaign mean %.5f", ber, z, mean),
+					})
+				}
+			}
+		}
+	}
+
+	// arq_stall: a long window of consecutive failed segment attempts.
+	for _, ts := range a.Trials {
+		if th.StallAttempts > 0 && ts.MaxSegmentFailRun >= th.StallAttempts {
+			out = append(out, Anomaly{
+				Trial: ts.Trial, Labels: ts.Labels,
+				Rule:  "arq_stall",
+				Value: float64(ts.MaxSegmentFailRun), Limit: float64(th.StallAttempts),
+				Detail: fmt.Sprintf("%d consecutive failed segment attempts", ts.MaxSegmentFailRun),
+			})
+		}
+	}
+
+	// burst_loss: a long run of consecutive lost rounds.
+	for _, ts := range a.Trials {
+		if th.BurstRounds > 0 && ts.MaxLostRun >= th.BurstRounds {
+			out = append(out, Anomaly{
+				Trial: ts.Trial, Labels: ts.Labels,
+				Rule:  "burst_loss",
+				Value: float64(ts.MaxLostRun), Limit: float64(th.BurstRounds),
+				Detail: fmt.Sprintf("%d consecutive lost rounds (missed trigger or lost block ACK)", ts.MaxLostRun),
+			})
+		}
+	}
+
+	return out
+}

@@ -1,0 +1,68 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Report bundles an analysis with its anomaly flags; the structure the
+// witag-trace CLI renders either as JSON or as aligned text.
+type Report struct {
+	Analysis  *Analysis  `json:"analysis"`
+	Anomalies []Anomaly  `json:"anomalies"`
+	Applied   Thresholds `json:"thresholds"`
+}
+
+// NewReport analyzes a trace's decomposition under the given thresholds.
+func NewReport(a *Analysis, th Thresholds) *Report {
+	return &Report{Analysis: a, Anomalies: Flag(a, th), Applied: th}
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// Render prints the report as aligned text: a trial table, then the
+// anomaly list, then the trace accounting.
+func (r *Report) Render() string {
+	var b strings.Builder
+	a := r.Analysis
+
+	fmt.Fprintf(&b, "%-6s %-34s %7s %6s %6s %6s %9s %6s %11s %9s %5s %5s %6s %6s\n",
+		"trial", "labels", "rounds", "det", "miss", "baloss", "ber", "burst",
+		"airtime_us", "p99_us", "xfer", "deliv", "retry", "stall")
+	for _, ts := range a.Trials {
+		fmt.Fprintf(&b, "%-6d %-34s %7d %6d %6d %6d %9.5f %6d %11d %9d %5d %5d %6d %6d\n",
+			ts.Trial, ts.Labels, ts.Rounds, ts.Detected, ts.TriggerMisses,
+			ts.BALosses, ts.BER, ts.MaxLostRun, ts.AirtimeUs, ts.AirtimeP99Us,
+			ts.Transfers, ts.Delivered, ts.Retries, ts.MaxSegmentFailRun)
+	}
+
+	if len(r.Anomalies) == 0 {
+		fmt.Fprintf(&b, "\nno anomalies (thresholds: ber z≥%g, stall≥%d, burst≥%d)\n",
+			r.Applied.BERZ, r.Applied.StallAttempts, r.Applied.BurstRounds)
+	} else {
+		fmt.Fprintf(&b, "\n%d anomalies (thresholds: ber z≥%g, stall≥%d, burst≥%d):\n",
+			len(r.Anomalies), r.Applied.BERZ, r.Applied.StallAttempts, r.Applied.BurstRounds)
+		for _, an := range r.Anomalies {
+			fmt.Fprintf(&b, "  %-10s trial=%-4d %-34s %s\n", an.Rule, an.Trial, an.Labels, an.Detail)
+		}
+	}
+
+	fmt.Fprintf(&b, "\ntrace: %d events decoded, %d recorded, %d dropped",
+		a.Events, a.Total, a.Dropped)
+	if a.Truncated {
+		b.WriteString(", TRUNCATED tail")
+	}
+	if a.Clipped() {
+		b.WriteString("\nwarning: trace is clipped — per-trial counts are lower bounds")
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -89,6 +89,9 @@ type Transferer struct {
 	Obs *obs.Observer
 	// TraceID labels this transferer's trace events.
 	TraceID int
+	// TraceLabels is the transfer's stats.SubSeed label path, stamped into
+	// trace events for forensic replay (see core.System.TraceLabels).
+	TraceLabels string
 
 	rng *rand.Rand
 }
@@ -152,6 +155,7 @@ func (t *Transferer) Send(ctx context.Context, payload []byte) (*Stats, error) {
 			o.Trace.Record(obs.Event{
 				Kind:      "transfer",
 				Trial:     t.TraceID,
+				Labels:    t.TraceLabels,
 				Delivered: st.Delivered,
 				Length:    st.PayloadBytes,
 				Rounds:    st.Rounds,
@@ -310,6 +314,7 @@ func (t *Transferer) traceSegment(seg segment, outcome string) {
 		o.Trace.Record(obs.Event{
 			Kind:    "segment",
 			Trial:   t.TraceID,
+			Labels:  t.TraceLabels,
 			Offset:  seg.start,
 			Length:  seg.len(),
 			Level:   t.Controller.Index(),

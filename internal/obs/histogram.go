@@ -27,6 +27,21 @@ func newHistogram(bounds []int64) *Histogram {
 	}
 }
 
+// NewHistogram returns a standalone histogram not bound to any registry,
+// for callers that need integer-exact quantiles outside the metrics
+// pipeline (forensic airtime percentiles, for one).
+func NewHistogram(bounds []int64) *Histogram {
+	return newHistogram(bounds)
+}
+
+// Snapshot freezes the histogram's current state (zero value for nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.snapshot()
+}
+
 // Observe records one value (nil-safe).
 func (h *Histogram) Observe(v int64) {
 	if h == nil {

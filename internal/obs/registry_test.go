@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
 	"strings"
 	"sync"
@@ -184,6 +185,137 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if buf.String() != buf2.String() {
 		t.Fatal("prometheus serialisation is not stable")
+	}
+}
+
+func TestPromNameEscapesIllegalRunes(t *testing.T) {
+	cases := map[string]string{
+		"core.rounds":         "witag_core_rounds",
+		"link.retries.p99":    "witag_link_retries_p99",
+		"weird-name/with 8µs": "witag_weird_name_with_8__s", // µ is 2 UTF-8 bytes, both escaped
+		"UPPER.Case:ok":       "witag_UPPER_Case:ok",
+		"":                    "witag_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+
+	// An escaped name must round-trip through the exposition writer
+	// without producing an illegal metric line.
+	r := NewRegistry()
+	r.Counter("bad name.with-dashes").Add(1)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "witag_bad_name_with_dashes 1\n") {
+		t.Fatalf("escaped counter missing from output:\n%s", buf.String())
+	}
+}
+
+func TestMergeMismatchedBucketLayouts(t *testing.T) {
+	mk := func(bounds []int64, obs ...int64) Snapshot {
+		r := NewRegistry()
+		h := r.Histogram("h", bounds)
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a := mk([]int64{10, 100}, 5, 50)        // counts [1,1,0]
+	b := mk([]int64{10, 100, 1000}, 5, 500) // counts [1,0,1,0]
+
+	m := Merge(a, b)
+	h := m.Histograms["h"]
+	// First layout seen wins; the mismatched snapshot's whole count folds
+	// into the overflow bucket, so Count and Sum stay exact.
+	if !reflect.DeepEqual(h.Bounds, []int64{10, 100}) {
+		t.Fatalf("merged bounds = %v, want first layout", h.Bounds)
+	}
+	if want := []int64{1, 1, 2}; !reflect.DeepEqual(h.Counts, want) {
+		t.Fatalf("merged counts = %v, want %v", h.Counts, want)
+	}
+	if h.Count != 4 || h.Sum != 5+50+5+500 {
+		t.Fatalf("merged count/sum = %d/%d, want 4/560", h.Count, h.Sum)
+	}
+
+	// Reversed order keeps totals exact too (layout differs by design).
+	rh := Merge(b, a).Histograms["h"]
+	if rh.Count != h.Count || rh.Sum != h.Sum {
+		t.Fatalf("reversed merge count/sum = %d/%d, want %d/%d", rh.Count, rh.Sum, h.Count, h.Sum)
+	}
+}
+
+func TestSnapshotDeltaOnEmptyRegistry(t *testing.T) {
+	r := NewRegistry()
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("empty registry snapshot not empty: %+v", s)
+	}
+
+	// Delta of two empty snapshots, and against a populated one, must not
+	// panic and must stay well-formed (maps allocated, not nil).
+	d := s.Delta(s)
+	if d.Counters == nil || d.Gauges == nil || d.Histograms == nil {
+		t.Fatal("delta returned nil maps")
+	}
+	r2 := NewRegistry()
+	r2.Counter("c").Add(3)
+	if got := r2.Snapshot().Delta(s).Counters["c"]; got != 3 {
+		t.Fatalf("delta against empty = %d, want 3", got)
+	}
+	if got := s.Delta(r2.Snapshot()).Counters["c"]; got != 0 {
+		t.Fatalf("empty minus populated counter = %d, want 0 (absent)", got)
+	}
+
+	// Deterministic() and Merge() of empties are empty, and the JSON
+	// encoding is stable.
+	if det := s.Deterministic(); len(det.Counters) != 0 || len(det.Histograms) != 0 {
+		t.Fatalf("deterministic view of empty registry: %+v", det)
+	}
+	m := Merge(s, s)
+	j1, _ := json.Marshal(m)
+	j2, _ := json.Marshal(Merge())
+	if string(j1) != string(j2) {
+		t.Fatalf("empty merges encode differently: %s vs %s", j1, j2)
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 5, 10, 50, 200, 900} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	// counts: ≤10 → 3, ≤100 → 1, ≤1000 → 2. Quantile returns bucket
+	// upper bounds (conservative), so p50 lands in the first bucket.
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 10}, {0.5, 10}, {0.51, 100}, {0.67, 1000}, {0.99, 1000}, {1, 1000},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+
+	// Overflow-only histogram: the largest finite bound is the best
+	// available answer.
+	r2 := NewRegistry()
+	h2 := r2.Histogram("h2", []int64{10})
+	h2.Observe(99)
+	if got := r2.Snapshot().Histograms["h2"].Quantile(0.5); got != 10 {
+		t.Fatalf("overflow quantile = %d, want 10", got)
+	}
+
+	// Empty histogram reads zero.
+	if got := (HistogramSnapshot{}).Quantile(0.9); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
 	}
 }
 

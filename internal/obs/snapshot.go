@@ -1,5 +1,7 @@
 package obs
 
+import "math"
+
 // Snapshot is a point-in-time copy of a registry. It is plain data:
 // JSON-marshallable (map keys marshal sorted, so the encoding is stable),
 // mergeable across registries, and diffable across time.
@@ -17,6 +19,45 @@ type HistogramSnapshot struct {
 	Counts []int64 `json:"counts"` // len(Bounds)+1; last is overflow
 	Sum    int64   `json:"sum"`
 	Count  int64   `json:"count"`
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) of the
+// observed values: the inclusive upper bound of the first bucket whose
+// cumulative count reaches q·Count. Values in the overflow bucket have no
+// upper bound, so the largest finite bound is returned for them (a known
+// under-estimate; callers sizing buckets per Exp2Bounds rarely overflow).
+// Returns 0 on an empty histogram. Integer bounds make the result exact
+// and deterministic — no interpolation, no floating-point accumulation.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation (nearest-rank
+	// definition: the smallest value with at least q·Count observations
+	// at or below it).
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.Bounds) == 0 {
+		return 0
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 func emptySnapshot() Snapshot {

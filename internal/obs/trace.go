@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 )
@@ -12,11 +13,16 @@ import (
 // allocation-free and the JSONL schema self-describing.
 type Event struct {
 	// Kind discriminates the record: "round", "segment", "transfer",
-	// "fault" or "trial".
+	// "fault" or "trial". WriteJSONL appends one extra "summary" record
+	// that is not an event (see TraceSummary).
 	Kind string `json:"kind"`
 	// Trial is the trace ID of the deployment that emitted the event
 	// (the trial index in Monte-Carlo campaigns).
 	Trial int `json:"trial,omitempty"`
+	// Labels is the trial's stats.SubSeed label path ("fig5/d=3/run=2").
+	// It names the trial's position in the experiment's seed tree, which
+	// is exactly what a forensic replay needs to rebuild the trial.
+	Labels string `json:"labels,omitempty"`
 	// Round is the emitting system's per-deployment round sequence number
 	// (1-based so it survives omitempty).
 	Round int `json:"round,omitempty"`
@@ -24,6 +30,7 @@ type Event struct {
 	// Round fields.
 	Detected  bool  `json:"detected,omitempty"`
 	BALost    bool  `json:"ba_lost,omitempty"`
+	Bits      int   `json:"bits,omitempty"` // tag bits carried this round
 	BitErrors int   `json:"bit_errors,omitempty"`
 	AirtimeUs int64 `json:"airtime_us,omitempty"`
 	SNRmDb    int64 `json:"snr_mdb,omitempty"` // link SNR in milli-dB
@@ -130,15 +137,132 @@ func (r *Recorder) Dropped() uint64 {
 	return r.dropped
 }
 
+// TraceSummary is the trailing record of a JSONL export. It makes a
+// clipped ring self-describing: a reader that sees Dropped > 0 knows the
+// file holds only the newest Retained of Total events, and a reader that
+// sees no summary at all knows the file itself was truncated mid-write.
+type TraceSummary struct {
+	Kind     string `json:"kind"` // always "summary"
+	Retained int    `json:"retained"`
+	Total    uint64 `json:"total"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// summaryKind discriminates the trailing TraceSummary record from events.
+const summaryKind = "summary"
+
+// snapshot returns the retained events plus the totals under one lock, so
+// an export's summary line always agrees with the events it follows even
+// while recording continues concurrently.
+func (r *Recorder) snapshot() (events []Event, total, dropped uint64) {
+	if r == nil {
+		return nil, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events = make([]Event, 0, len(r.buf))
+	events = append(events, r.buf[r.next:]...)
+	events = append(events, r.buf[:r.next]...)
+	return events, r.total, r.dropped
+}
+
 // WriteJSONL streams the retained events to w, one JSON object per line,
-// oldest first.
+// oldest first, followed by one "summary" record carrying the recorder's
+// total and dropped counts (so a clipped ring is never misread as a
+// complete run).
 func (r *Recorder) WriteJSONL(w io.Writer) error {
+	events, total, dropped := r.snapshot()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, e := range r.Events() {
+	for _, e := range events {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}
 	}
+	sum := TraceSummary{Kind: summaryKind, Retained: len(events), Total: total, Dropped: dropped}
+	if err := enc.Encode(sum); err != nil {
+		return err
+	}
 	return bw.Flush()
+}
+
+// Trace is a decoded JSONL export: the events plus the summary's
+// accounting. ReadJSONL(WriteJSONL(r)) reproduces r's events, total and
+// dropped counts exactly.
+type Trace struct {
+	Events []Event
+	// Total and Dropped come from the trailing summary record: how many
+	// events the recorder ever saw and how many the ring overwrote. When
+	// the file has no summary (Truncated), Total is len(Events) and
+	// Dropped is 0 — lower bounds, not facts.
+	Total   uint64
+	Dropped uint64
+	// Truncated reports that the file ended without a summary record —
+	// the writer died mid-export, so the tail of the trace is missing.
+	Truncated bool
+}
+
+// Clipped reports whether the trace is incomplete: the ring overwrote
+// events before export, or the file itself lost its tail.
+func (t *Trace) Clipped() bool { return t.Dropped > 0 || t.Truncated }
+
+// ReadJSONL decodes a JSONL trace written by WriteJSONL. It is a
+// streaming decoder, tolerant of a truncated tail: a final line that is
+// incomplete or unparseable marks the trace Truncated instead of failing,
+// so a trace cut off mid-write still analyzes. Garbage before the final
+// line is an error — that is corruption, not truncation.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	tr := &Trace{Truncated: true}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The bad line was not the tail after all.
+			return nil, pendingErr
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			pendingErr = fmt.Errorf("obs: trace line %d: %w", line, err)
+			continue
+		}
+		if kind.Kind == summaryKind {
+			var sum TraceSummary
+			if err := json.Unmarshal(raw, &sum); err != nil {
+				pendingErr = fmt.Errorf("obs: trace line %d: %w", line, err)
+				continue
+			}
+			tr.Total = sum.Total
+			tr.Dropped = sum.Dropped
+			tr.Truncated = false
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			pendingErr = fmt.Errorf("obs: trace line %d: %w", line, err)
+			continue
+		}
+		if !tr.Truncated {
+			// Events after a summary: the file was appended to; the old
+			// summary no longer covers it.
+			tr.Truncated = true
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if tr.Truncated {
+		tr.Total = uint64(len(tr.Events))
+		tr.Dropped = 0
+	}
+	return tr, nil
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -55,7 +56,7 @@ func TestNilRecorderIsInert(t *testing.T) {
 
 func TestWriteJSONLRoundTrips(t *testing.T) {
 	r := NewRecorder(16)
-	r.Record(Event{Kind: "round", Trial: 3, Round: 1, Detected: true, BitErrors: 2, AirtimeUs: 1234, SNRmDb: 21500})
+	r.Record(Event{Kind: "round", Trial: 3, Labels: "fig5/d=3/run=2", Round: 1, Detected: true, Bits: 64, BitErrors: 2, AirtimeUs: 1234, SNRmDb: 21500})
 	r.Record(Event{Kind: "segment", Offset: 48, Length: 16, Level: 2, Outcome: "frame_error"})
 	r.Record(Event{Kind: "transfer", Delivered: true, Rounds: 9, Retries: 1, AirtimeUs: 99999})
 
@@ -63,7 +64,7 @@ func TestWriteJSONLRoundTrips(t *testing.T) {
 	if err := r.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
-	sc := bufio.NewScanner(&buf)
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
 	var kinds []string
 	for sc.Scan() {
 		var e Event
@@ -72,8 +73,137 @@ func TestWriteJSONLRoundTrips(t *testing.T) {
 		}
 		kinds = append(kinds, e.Kind)
 	}
-	if len(kinds) != 3 || kinds[0] != "round" || kinds[1] != "segment" || kinds[2] != "transfer" {
-		t.Fatalf("kinds = %v", kinds)
+	want := []string{"round", "segment", "transfer", "summary"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+
+	// ReadJSONL(WriteJSONL(x)) == x: events, total and dropped all survive.
+	tr, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Events, r.Events()) {
+		t.Fatalf("decoded events differ:\ngot  %+v\nwant %+v", tr.Events, r.Events())
+	}
+	if tr.Total != r.Total() || tr.Dropped != r.Dropped() || tr.Truncated {
+		t.Fatalf("total=%d dropped=%d truncated=%v, want %d/%d/false", tr.Total, tr.Dropped, tr.Truncated, r.Total(), r.Dropped())
+	}
+	if tr.Clipped() {
+		t.Fatal("complete un-wrapped trace reported clipped")
+	}
+}
+
+func TestReadJSONLSurfacesDroppedCounts(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(Event{Kind: "round", Round: i})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 4 || tr.Total != 10 || tr.Dropped != 6 {
+		t.Fatalf("events=%d total=%d dropped=%d, want 4/10/6", len(tr.Events), tr.Total, tr.Dropped)
+	}
+	if !tr.Clipped() {
+		t.Fatal("wrapped ring must report clipped")
+	}
+}
+
+func TestReadJSONLToleratesTruncatedTail(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{Kind: "round", Round: i})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Cut the file mid-way through its final (summary) line: the decode
+	// must succeed, keep every complete event, and report Truncated.
+	cut := full[:len(full)-10]
+	tr, err := ReadJSONL(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("truncated tail should decode, got %v", err)
+	}
+	if !tr.Truncated || !tr.Clipped() {
+		t.Fatal("truncated file must report Truncated")
+	}
+	if len(tr.Events) != 5 || tr.Total != 5 || tr.Dropped != 0 {
+		t.Fatalf("events=%d total=%d dropped=%d, want 5/5/0", len(tr.Events), tr.Total, tr.Dropped)
+	}
+
+	// Cut mid-way through an event line: the partial event is discarded,
+	// the complete prefix survives.
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	partial := bytes.Join(lines[:3], nil)
+	partial = append(partial, lines[3][:len(lines[3])/2]...)
+	tr, err = ReadJSONL(bytes.NewReader(partial))
+	if err != nil {
+		t.Fatalf("truncated event tail should decode, got %v", err)
+	}
+	if !tr.Truncated || len(tr.Events) != 3 {
+		t.Fatalf("truncated=%v events=%d, want true/3", tr.Truncated, len(tr.Events))
+	}
+}
+
+func TestReadJSONLRejectsMidStreamGarbage(t *testing.T) {
+	in := `{"kind":"round","round":1}
+not json at all
+{"kind":"round","round":2}
+`
+	if _, err := ReadJSONL(bytes.NewReader([]byte(in))); err == nil {
+		t.Fatal("mid-stream garbage must be an error, not truncation")
+	}
+}
+
+func TestReadJSONLMissingSummaryIsTruncated(t *testing.T) {
+	in := `{"kind":"round","round":1}
+{"kind":"round","round":2}
+`
+	tr, err := ReadJSONL(bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Truncated || len(tr.Events) != 2 || tr.Total != 2 || tr.Dropped != 0 {
+		t.Fatalf("truncated=%v events=%d total=%d dropped=%d", tr.Truncated, len(tr.Events), tr.Total, tr.Dropped)
+	}
+}
+
+func TestReadJSONLEventsAfterSummaryAreTruncated(t *testing.T) {
+	// A file appended to after export: the old summary no longer covers
+	// the tail, so the trace must not claim completeness.
+	in := `{"kind":"round","round":1}
+{"kind":"summary","retained":1,"total":1,"dropped":0}
+{"kind":"round","round":2}
+`
+	tr, err := ReadJSONL(bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Truncated || len(tr.Events) != 2 {
+		t.Fatalf("truncated=%v events=%d, want true/2", tr.Truncated, len(tr.Events))
+	}
+}
+
+func TestReadJSONLEmptyRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder(4).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 0 || tr.Total != 0 || tr.Dropped != 0 || tr.Truncated {
+		t.Fatalf("empty export decoded to %+v", tr)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"witag/internal/channel"
 	"witag/internal/core"
+	"witag/internal/obs"
 	"witag/internal/stats"
 )
 
@@ -42,13 +43,38 @@ type Trial struct {
 	Rounds int
 	// DataSeed seeds the random tag payload bits.
 	DataSeed int64
+	// ID is the trial's index in its campaign; Run stamps it into the
+	// built system as the trace ID.
+	ID int
+	// Labels is the trial's stats.SubSeed label path ("fig5/d=3/run=2").
+	// Run stamps it into the built system so every trace event the trial
+	// emits names the seed tree needed to replay it in isolation.
+	Labels string
+	// Obs, when non-nil, replaces the built system's observer (and its
+	// fault injector's) before measuring. Forensic replay uses this to
+	// capture one trial's events on a fresh recorder without touching
+	// the campaign-wide observer the Build closure installed.
+	Obs *obs.Observer
 }
 
-// Run builds the deployment and measures it.
+// Run builds the deployment, stamps the trial's trace identity into it,
+// and measures it.
 func (t Trial) Run(ctx context.Context) (RunStats, error) {
 	sys, env, err := t.Build()
 	if err != nil {
 		return RunStats{}, err
+	}
+	sys.TraceID = t.ID
+	sys.TraceLabels = t.Labels
+	if t.Obs != nil {
+		sys.Obs = t.Obs
+	}
+	if sys.Faults != nil {
+		sys.Faults.TraceID = t.ID
+		sys.Faults.TraceLabels = t.Labels
+		if t.Obs != nil {
+			sys.Faults.Obs = t.Obs
+		}
 	}
 	return MeasureRun(ctx, sys, env, t.Rounds, t.DataSeed)
 }
