@@ -2,11 +2,16 @@
 # the full test suite under the race detector (the concurrent trial runner
 # in internal/sim must stay race-clean), the codec fuzz seed corpus, and
 # the worker-count determinism contract.
+#
+# Release checklist: `make check` then `make gate` — the regression
+# sentinel reruns every experiment and compares the science against the
+# committed bench/ baselines; regenerate them with `make bench-series`
+# only when a science change is intended, and say why in the commit.
 
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet lint test race bench bench-series build cover fuzz fuzzseed determinism
+.PHONY: check fmt vet lint test race bench bench-series gate build cover fuzz fuzzseed determinism
 
 check: fmt vet lint race fuzzseed determinism
 
@@ -54,6 +59,16 @@ bench:
 # change shows exactly which trajectories moved.
 bench-series:
 	$(GO) run ./cmd/witag-bench -experiment all -json bench
+
+# Regression sentinel: rerun every experiment into a scratch dir and gate
+# the result against the committed bench/ baselines (DESIGN.md §12).
+# Deterministic metrics must match exactly and science series must stay
+# inside the statistical tolerance band; wall-clock budget is off (-budget
+# 0) because the committed baselines were timed on a different machine.
+gate:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/witag-bench -experiment all -json "$$tmp" >/dev/null && \
+	$(GO) run ./cmd/witag-gate -baseline bench -candidate "$$tmp" -budget 0
 
 # Whole-repo coverage profile plus the one-line total.
 cover:

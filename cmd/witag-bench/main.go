@@ -41,18 +41,21 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"witag/internal/experiments"
 	"witag/internal/fault"
 	"witag/internal/obs"
+	"witag/internal/regress"
 	"witag/internal/sim"
 )
 
@@ -111,29 +114,40 @@ func main() {
 	}
 }
 
-// writeJSON emits one experiment's series as BENCH_<name>.json under dir.
-func writeJSON(dir, name string, v any) error {
-	if dir == "" {
-		return nil
+// gitSHA resolves the tree the artifacts were built from, for the
+// provenance stamp: WITAG_GIT_SHA wins (CI sets it without needing a
+// checkout), then a best-effort `git rev-parse`; missing git simply
+// leaves the field empty.
+func gitSHA() string {
+	if sha := os.Getenv("WITAG_GIT_SHA"); sha != "" {
+		return sha
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	buf, err := json.MarshalIndent(v, "", "  ")
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
 	if err != nil {
-		return err
+		return ""
 	}
-	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(buf, '\n'), 0o644)
+	return strings.TrimSpace(string(out))
 }
 
-// writeMetricsJSON emits one experiment's metrics-registry delta as
-// BENCH_<name>.metrics.json next to its series file.
-func writeMetricsJSON(dir, name string, snap obs.Snapshot) error {
-	buf, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return err
+// provenance builds the stamp shared by every artifact of this run. The
+// timestamp is taken here, once, in the CLI — nothing on the
+// deterministic experiment path reads the clock.
+func provenance(cfg benchConfig) regress.Provenance {
+	workers := cfg.parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
-	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".metrics.json"), append(buf, '\n'), 0o644)
+	return regress.Provenance{
+		GitSHA:       gitSHA(),
+		GoVersion:    runtime.Version(),
+		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
+		Seed:         cfg.seed,
+		Runs:         cfg.runs,
+		Rounds:       cfg.rounds,
+		Transfers:    cfg.transfers,
+		Workers:      workers,
+		FaultProfile: cfg.faultProf,
+	}
 }
 
 func run(ctx context.Context, cfg benchConfig) error {
@@ -197,19 +211,25 @@ func run(ctx context.Context, cfg benchConfig) error {
 	}
 
 	// emit writes an experiment's series plus the metrics-registry delta
-	// accumulated since the previous experiment finished.
+	// accumulated since the previous experiment finished, both wrapped in
+	// a provenance envelope naming what produced them. The trial count is
+	// the runner's own tally for this experiment, read from the delta.
 	lastSnap := reg.Snapshot()
+	runProv := provenance(cfg)
 	emit := func(name string, v any) error {
 		if cfg.jsonDir == "" {
 			return nil
 		}
-		if err := writeJSON(cfg.jsonDir, name, v); err != nil {
+		now := reg.Snapshot()
+		delta := now.Delta(lastSnap)
+		lastSnap = now
+		prov := runProv
+		prov.Experiment = name
+		prov.Trials = delta.Counters["runner.trials_started"]
+		if err := regress.WriteSeries(cfg.jsonDir, name, prov, v); err != nil {
 			return err
 		}
-		now := reg.Snapshot()
-		err := writeMetricsJSON(cfg.jsonDir, name, now.Delta(lastSnap))
-		lastSnap = now
-		return err
+		return regress.WriteMetrics(cfg.jsonDir, name, prov, delta)
 	}
 
 	all := cfg.experiment == "all"
@@ -309,16 +329,7 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if err := experiments.CheckFigure6Shape(a, b); err != nil {
 			return err
 		}
-		type locSeries struct {
-			Location string    `json:"location"`
-			RunBERs  []float64 `json:"runBERs"`
-			P50      float64   `json:"p50"`
-			P90      float64   `json:"p90"`
-		}
-		series := func(r *experiments.Figure6Result) locSeries {
-			return locSeries{Location: string(rune(r.Location)), RunBERs: r.RunBERs, P50: r.P50, P90: r.P90}
-		}
-		return emit("fig6", map[string]locSeries{"A": series(a), "B": series(b)})
+		return emit("fig6", map[string]experiments.Figure6Series{"A": a.Series(), "B": b.Series()})
 	}); err != nil {
 		return err
 	}

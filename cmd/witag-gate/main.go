@@ -1,0 +1,73 @@
+// Command witag-gate is the regression sentinel's CLI: it compares a
+// candidate bench-artifact directory against a committed baseline and
+// exits non-zero when the science regressed.
+//
+// Usage:
+//
+//	witag-gate -candidate DIR [-baseline bench] [-json] [-budget 1.3]
+//	           [-tol 0.10] [-alpha 0.05] [-strict]
+//
+// Both directories hold the BENCH_<name>.json / BENCH_<name>.metrics.json
+// pairs that `witag-bench -json DIR` writes. Three tiers run per
+// experiment (DESIGN.md §12): deterministic metrics must match exactly,
+// stochastic science series are classified ok/drift/regression/improvement
+// per point via tolerance bands plus Welch's t (or a deterministic
+// bootstrap over raw trials), and volatile wall-clock histograms are held
+// to a quantile-ratio perf budget (-budget 0 turns the perf tier into
+// ratio reporting only — the right setting when baseline and candidate
+// come from different machines).
+//
+// Exit status: 0 when the overall verdict is ok, improvement or drift;
+// 1 on regression (or on drift too, with -strict); 2 on usage or I/O
+// errors. Reports are deterministic: the same artifact pair renders
+// byte-identical output on every run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"witag/internal/regress"
+)
+
+func main() {
+	opts := regress.DefaultOptions()
+	baseline := flag.String("baseline", "bench", "baseline artifact directory (the committed reference)")
+	candidate := flag.String("candidate", "", "candidate artifact directory to gate (required)")
+	asJSON := flag.Bool("json", false, "emit the drift report as JSON instead of aligned text")
+	flag.Float64Var(&opts.Budget, "budget", opts.Budget, "volatile-histogram quantile ratio ceiling; 0 reports ratios without gating")
+	flag.Float64Var(&opts.Tolerance, "tol", opts.Tolerance, "relative tolerance band for science series points")
+	flag.Float64Var(&opts.Alpha, "alpha", opts.Alpha, "significance level for the Welch/bootstrap tests")
+	strict := flag.Bool("strict", false, "also exit non-zero on drift (not just regression)")
+	flag.Parse()
+
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "witag-gate: -candidate DIR is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	rep, err := regress.Gate(*baseline, *candidate, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "witag-gate:", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		s, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "witag-gate:", err)
+			os.Exit(2)
+		}
+		fmt.Print(s)
+	} else {
+		fmt.Print(rep.Render())
+	}
+	switch rep.Verdict {
+	case regress.ClassRegression:
+		os.Exit(1)
+	case regress.ClassDrift:
+		if *strict {
+			os.Exit(1)
+		}
+	}
+}

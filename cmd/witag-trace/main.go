@@ -6,15 +6,17 @@
 // Usage:
 //
 //	witag-trace analyze [-json] trace.jsonl
-//	witag-trace flag [-ber-z Z] [-stall N] [-burst N] [-json] trace.jsonl
+//	witag-trace flag [-ber-z Z] [-stall N] [-burst N] [-max-anomalies N]
+//	                 [-json] trace.jsonl
 //	witag-trace replay -trial N [-labels PATH] [-seed N] [-rounds N]
 //	                   [-payload N] [-fault PROFILE] [-out FILE] trace.jsonl
 //
 // analyze prints the per-trial table (rounds, BER, loss runs, airtime
 // percentiles, transfer/ARQ activity) plus any anomalies under the
 // default thresholds. flag runs only the anomaly rules, with the
-// thresholds adjustable; it exits 1 when anything is flagged, so it can
-// gate scripts. Both warn when the trace is clipped (ring overwrote
+// thresholds adjustable; it exits 1 when anything is flagged — or, with
+// -max-anomalies N, only when more than N trials flag — so it can gate
+// scripts and CI. Both warn when the trace is clipped (ring overwrote
 // events, or the file lost its tail) since counts are then lower bounds.
 //
 // replay re-runs the one trial named by -trial (and -labels, when the
@@ -76,7 +78,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   witag-trace analyze [-json] trace.jsonl
-  witag-trace flag [-ber-z Z] [-stall N] [-burst N] [-json] trace.jsonl
+  witag-trace flag [-ber-z Z] [-stall N] [-burst N] [-max-anomalies N] [-json] trace.jsonl
   witag-trace replay -trial N [-labels PATH] [-seed N] [-rounds N]
                      [-payload N] [-fault PROFILE] [-out FILE] trace.jsonl`)
 }
@@ -132,6 +134,7 @@ func cmdFlag(args []string) error {
 	fs.Float64Var(&th.BERZ, "ber-z", th.BERZ, "flag trials whose BER z-score across peers reaches this")
 	fs.IntVar(&th.StallAttempts, "stall", th.StallAttempts, "flag trials with this many consecutive failed segment attempts")
 	fs.IntVar(&th.BurstRounds, "burst", th.BurstRounds, "flag trials with this many consecutive lost rounds")
+	maxAnoms := fs.Int("max-anomalies", -1, "anomaly budget: exit non-zero when more than N trials flag; -1 keeps the default any-anomaly-fails gate")
 	asJSON := fs.Bool("json", false, "emit anomalies as JSON instead of text")
 	fs.Parse(args)
 	tr, err := loadTrace(fs)
@@ -152,7 +155,17 @@ func cmdFlag(args []string) error {
 			fmt.Printf("%-10s trial=%-4d %-34s %s\n", an.Rule, an.Trial, an.Labels, an.Detail)
 		}
 	}
-	if len(anoms) > 0 {
+	// Gate semantics: without -max-anomalies any flag fails (the historic
+	// behaviour); with a budget of N, up to N flagged trials are tolerated
+	// — a campaign with a known background rate can still gate CI.
+	budget := *maxAnoms
+	if budget < 0 {
+		budget = 0
+	}
+	if (*maxAnoms < 0 && len(anoms) > 0) || (*maxAnoms >= 0 && len(anoms) > budget) {
+		if *maxAnoms >= 0 {
+			fmt.Fprintf(os.Stderr, "witag-trace: %d anomalies exceed the -max-anomalies budget of %d\n", len(anoms), budget)
+		}
 		// Non-zero so scripts can gate on a clean campaign; the anomalies
 		// themselves already went to stdout.
 		os.Exit(1)

@@ -38,10 +38,13 @@ type Figure5Point struct {
 	DetectionRate  float64
 }
 
-// Figure5Result is the whole sweep.
+// Figure5Result is the whole sweep. Runs is the per-point trial count —
+// the n the regression sentinel's Welch test needs next to each point's
+// BER mean and std.
 type Figure5Result struct {
 	Points      []Figure5Point
 	RawRateKbps float64 // tag bits offered per second (error-free ceiling)
+	Runs        int     // measurement repetitions behind every point
 }
 
 // Figure5 runs the sweep on the shared trial runner.
@@ -55,7 +58,7 @@ func Figure5Ctx(ctx context.Context, cfg Figure5Config) (*Figure5Result, error) 
 		return nil, fmt.Errorf("experiments: need ≥1 run and ≥1 round, got %d×%d", cfg.Runs, cfg.Round)
 	}
 	distances := []float64{1, 2, 3, 4, 5, 6, 7}
-	res := &Figure5Result{}
+	res := &Figure5Result{Runs: cfg.Runs}
 
 	// The offered-rate ceiling depends only on the query shape, which the
 	// LoS testbed fixes regardless of tag position — compute it once, off

@@ -41,6 +41,28 @@ type Figure6Result struct {
 	P90      float64
 }
 
+// Figure6Series is the machine-readable BENCH series for one location.
+// It carries the raw per-run BERs (so the regression sentinel can
+// bootstrap them) and the trial count explicitly.
+type Figure6Series struct {
+	Location string    `json:"location"`
+	Runs     int       `json:"runs"`
+	RunBERs  []float64 `json:"runBERs"`
+	P50      float64   `json:"p50"`
+	P90      float64   `json:"p90"`
+}
+
+// Series freezes the result into its artifact schema.
+func (r *Figure6Result) Series() Figure6Series {
+	return Figure6Series{
+		Location: string(rune(r.Location)),
+		Runs:     len(r.RunBERs),
+		RunBERs:  r.RunBERs,
+		P50:      r.P50,
+		P90:      r.P90,
+	}
+}
+
 // Figure6 runs the campaign for one location on the shared trial runner.
 func Figure6(loc NLoSLocation, cfg Figure6Config) (*Figure6Result, error) {
 	return Figure6Ctx(context.Background(), loc, cfg)

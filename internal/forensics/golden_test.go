@@ -1,0 +1,84 @@
+package forensics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenCompare(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/forensics -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden.\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+// goldenAnalysis is a hand-built three-trial campaign: two healthy trials
+// and one with a loss burst long enough to flag, so the golden covers both
+// the table and the anomaly list.
+func goldenAnalysis() *Analysis {
+	return &Analysis{
+		Events: 1200, Total: 1200,
+		Trials: []TrialStats{
+			{
+				Trial: 0, Labels: "fig5/d=1/run=0", Rounds: 100, Detected: 99,
+				TriggerMisses: 1, Bits: 4800, BitErrors: 48, BER: 0.01,
+				MaxLostRun: 1, AirtimeUs: 812000, AirtimeP50Us: 8192,
+				AirtimeP90Us: 8192, AirtimeP99Us: 16384,
+			},
+			{
+				Trial: 1, Labels: "fig5/d=1/run=1", Rounds: 100, Detected: 98,
+				TriggerMisses: 2, Bits: 4800, BitErrors: 53, BER: 0.011,
+				MaxLostRun: 2, AirtimeUs: 815000, AirtimeP50Us: 8192,
+				AirtimeP90Us: 8192, AirtimeP99Us: 16384,
+			},
+			{
+				Trial: 2, Labels: "fig5/d=4/run=0", Rounds: 100, Detected: 91,
+				TriggerMisses: 6, BALosses: 3, Bits: 4400, BitErrors: 57,
+				BER: 0.013, MaxLostRun: 6, AirtimeUs: 799000,
+				AirtimeP50Us: 8192, AirtimeP90Us: 16384, AirtimeP99Us: 16384,
+				Transfers: 2, Delivered: 2, Retries: 4, SegmentsOK: 20,
+				SegmentsBad: 4, MaxSegmentFailRun: 2,
+			},
+		},
+	}
+}
+
+func TestForensicsReportGolden(t *testing.T) {
+	rep := NewReport(goldenAnalysis(), DefaultThresholds())
+	if len(rep.Anomalies) == 0 {
+		t.Fatal("fixture is meant to flag at least one anomaly")
+	}
+	j, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, filepath.Join("testdata", "report.golden.json"), j)
+	goldenCompare(t, filepath.Join("testdata", "report.golden.txt"), rep.Render())
+}
+
+func TestForensicsReportGoldenEmpty(t *testing.T) {
+	rep := NewReport(&Analysis{}, DefaultThresholds())
+	j, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, filepath.Join("testdata", "report_empty.golden.json"), j)
+	goldenCompare(t, filepath.Join("testdata", "report_empty.golden.txt"), rep.Render())
+}

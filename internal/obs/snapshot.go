@@ -32,18 +32,7 @@ func (h HistogramSnapshot) Quantile(q float64) int64 {
 	if h.Count == 0 || len(h.Counts) == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
-	} else if q > 1 {
-		q = 1
-	}
-	// rank is the 1-based index of the target observation (nearest-rank
-	// definition: the smallest value with at least q·Count observations
-	// at or below it).
-	rank := int64(math.Ceil(q * float64(h.Count)))
-	if rank < 1 {
-		rank = 1
-	}
+	rank := NearestRank(q, h.Count)
 	var cum int64
 	for i, c := range h.Counts {
 		cum += c
@@ -58,6 +47,29 @@ func (h HistogramSnapshot) Quantile(q float64) int64 {
 		return 0
 	}
 	return h.Bounds[len(h.Bounds)-1]
+}
+
+// NearestRank returns the 1-based rank of the q-quantile (clamped to
+// [0, 1]) in a population of count observations, under the nearest-rank
+// definition: the smallest value with at least q·count observations at or
+// below it. It is the single quantile-rank rule in the repository —
+// HistogramSnapshot.Quantile and the forensic airtime percentiles both
+// resolve ranks through it, so live /metrics quantiles, trace analytics
+// and gate perf ratios can never disagree on what "p99" means.
+func NearestRank(q float64, count int64) int64 {
+	if count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	return rank
 }
 
 func emptySnapshot() Snapshot {

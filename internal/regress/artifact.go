@@ -1,0 +1,207 @@
+// Package regress is the regression sentinel: it loads two bench artifact
+// directories — a candidate run and a committed baseline — and produces a
+// deterministic verdict on whether the science moved.
+//
+// Three tiers of comparison, strictest applicable first (DESIGN.md §12):
+//
+//   - Equality: deterministic metrics snapshots (the non-Volatile counters
+//     and histograms of obs.Snapshot) are a pure function of the seeds, so
+//     they must match bit-for-bit per experiment. Any difference — even a
+//     single counter off by one — is a regression: some code path executed
+//     differently.
+//   - Statistics: stochastic science series (BER, throughput, delivery …)
+//     are compared point-by-point with a relative tolerance band plus a
+//     statistical test — Welch's t when a point carries mean/std/trial
+//     count, a deterministic bootstrap when raw per-trial samples are
+//     present. Each point classifies as ok, drift, regression or
+//     improvement.
+//   - Budget: volatile wall-clock histograms are never expected to match;
+//     they are compared by quantile ratio against a configurable perf
+//     budget (and skipped entirely when the budget is off, since wall
+//     clocks from different machines are not comparable).
+//
+// Everything in this package is deterministic: no wall clock, no
+// environment reads, fixed-seed resampling — two runs over the same
+// artifact pair render byte-identical reports.
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"witag/internal/obs"
+)
+
+// Provenance stamps a bench artifact with exactly what produced it, so a
+// gate report can name what was compared. The timestamp is passed in by
+// the CLI — nothing on the deterministic library path reads the clock.
+type Provenance struct {
+	GitSHA       string `json:"gitSHA,omitempty"`
+	GoVersion    string `json:"goVersion,omitempty"`
+	TimestampUTC string `json:"timestampUTC,omitempty"` // RFC3339, supplied by the caller
+	Experiment   string `json:"experiment,omitempty"`
+	Seed         int64  `json:"seed"`
+	Trials       int64  `json:"trials,omitempty"` // runner trials the experiment actually started
+	Runs         int    `json:"runs,omitempty"`
+	Rounds       int    `json:"rounds,omitempty"`
+	Transfers    int    `json:"transfers,omitempty"`
+	Workers      int    `json:"workers,omitempty"` // resolved worker count (informational)
+	FaultProfile string `json:"faultProfile,omitempty"`
+}
+
+// String renders the provenance as one report line.
+func (p *Provenance) String() string {
+	if p == nil {
+		return "(no provenance)"
+	}
+	var parts []string
+	add := func(k, v string) {
+		if v != "" {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	add("sha", p.GitSHA)
+	add("go", p.GoVersion)
+	add("at", p.TimestampUTC)
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	if p.Trials > 0 {
+		parts = append(parts, fmt.Sprintf("trials=%d", p.Trials))
+	}
+	if p.Workers > 0 {
+		parts = append(parts, fmt.Sprintf("workers=%d", p.Workers))
+	}
+	add("fault", p.FaultProfile)
+	return strings.Join(parts, " ")
+}
+
+// seriesEnvelope is the on-disk BENCH_<name>.json layout.
+type seriesEnvelope struct {
+	Provenance *Provenance     `json:"provenance,omitempty"`
+	Series     json.RawMessage `json:"series"`
+}
+
+// metricsEnvelope is the on-disk BENCH_<name>.metrics.json layout.
+type metricsEnvelope struct {
+	Provenance *Provenance  `json:"provenance,omitempty"`
+	Metrics    obs.Snapshot `json:"metrics"`
+}
+
+// Artifact is everything one experiment left behind in a bench directory.
+type Artifact struct {
+	Name string // experiment name, from the file name
+
+	Series     json.RawMessage // nil when BENCH_<name>.json is absent
+	SeriesProv *Provenance
+
+	Metrics     *obs.Snapshot // nil when BENCH_<name>.metrics.json is absent
+	MetricsProv *Provenance
+}
+
+// WriteSeries writes BENCH_<name>.json under dir as a provenance-stamped
+// envelope, creating dir if needed.
+func WriteSeries(dir, name string, prov Provenance, series any) error {
+	raw, err := json.Marshal(series)
+	if err != nil {
+		return err
+	}
+	return writeArtifact(dir, "BENCH_"+name+".json", seriesEnvelope{Provenance: &prov, Series: raw})
+}
+
+// WriteMetrics writes BENCH_<name>.metrics.json under dir.
+func WriteMetrics(dir, name string, prov Provenance, snap obs.Snapshot) error {
+	return writeArtifact(dir, "BENCH_"+name+".metrics.json", metricsEnvelope{Provenance: &prov, Metrics: snap})
+}
+
+func writeArtifact(dir, file string, v any) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, file), append(buf, '\n'), 0o644)
+}
+
+// LoadDir reads every BENCH_<name>.json / BENCH_<name>.metrics.json pair
+// under dir. Artifacts predating the provenance envelope (a bare series or
+// a bare snapshot at top level) still load, with nil provenance, so old
+// baselines remain comparable.
+func LoadDir(dir string) (map[string]*Artifact, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	arts := map[string]*Artifact{}
+	get := func(name string) *Artifact {
+		a, ok := arts[name]
+		if !ok {
+			a = &Artifact{Name: name}
+			arts[name] = a
+		}
+		return a
+	}
+	for _, e := range entries {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasPrefix(fn, "BENCH_") || !strings.HasSuffix(fn, ".json") {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, fn))
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasSuffix(fn, ".metrics.json"):
+			name := strings.TrimSuffix(strings.TrimPrefix(fn, "BENCH_"), ".metrics.json")
+			a := get(name)
+			var env metricsEnvelope
+			if err := json.Unmarshal(buf, &env); err != nil {
+				return nil, fmt.Errorf("regress: %s: %w", fn, err)
+			}
+			if env.Metrics.Counters == nil && env.Provenance == nil {
+				// Legacy layout: the whole document is the snapshot.
+				var snap obs.Snapshot
+				if err := json.Unmarshal(buf, &snap); err != nil {
+					return nil, fmt.Errorf("regress: %s: %w", fn, err)
+				}
+				a.Metrics = &snap
+			} else {
+				a.Metrics = &env.Metrics
+				a.MetricsProv = env.Provenance
+			}
+		default:
+			name := strings.TrimSuffix(strings.TrimPrefix(fn, "BENCH_"), ".json")
+			a := get(name)
+			var env seriesEnvelope
+			if err := json.Unmarshal(buf, &env); err == nil && env.Series != nil {
+				a.Series = env.Series
+				a.SeriesProv = env.Provenance
+			} else {
+				// Legacy layout: the whole document is the series.
+				a.Series = json.RawMessage(buf)
+			}
+		}
+	}
+	return arts, nil
+}
+
+// names returns the union of experiment names across artifact maps,
+// sorted, so report ordering is deterministic.
+func names(ms ...map[string]*Artifact) []string {
+	seen := map[string]bool{}
+	for _, m := range ms {
+		for n := range m {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

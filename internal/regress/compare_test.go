@@ -1,0 +1,184 @@
+package regress
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// findPoint pulls the verdict for one path out of a comparison.
+func findPoint(t *testing.T, pts []PointVerdict, path string) PointVerdict {
+	t.Helper()
+	for _, p := range pts {
+		if p.Path == path {
+			return p
+		}
+	}
+	t.Fatalf("no verdict for path %q in %+v", path, pts)
+	return PointVerdict{}
+}
+
+func compare(t *testing.T, base, cand string, n int) []PointVerdict {
+	t.Helper()
+	pts, err := CompareSeries(json.RawMessage(base), json.RawMessage(cand), n, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func TestCompareSeriesIdentical(t *testing.T) {
+	s := `{"Points":[{"DistanceM":1,"BER":0.01,"BERStd":0.002,"ThroughputKbps":40}],"Runs":4}`
+	for _, p := range compare(t, s, s, 0) {
+		if p.Class != ClassOK {
+			t.Errorf("%s classified %s on identical series: %+v", p.Path, p.Class, p)
+		}
+	}
+}
+
+func TestCompareSeriesBERRegression(t *testing.T) {
+	base := `{"Points":[{"BER":0.01,"BERStd":0.002}],"Runs":4}`
+	cand := `{"Points":[{"BER":0.10,"BERStd":0.002}],"Runs":4}`
+	p := findPoint(t, compare(t, base, cand, 0), "Points[0].BER")
+	if p.Class != ClassRegression {
+		t.Fatalf("10x BER classified %s, want regression: %+v", p.Class, p)
+	}
+	if p.P == nil || *p.P > 1e-4 {
+		t.Errorf("expected a Welch p-value << alpha, got %+v", p.P)
+	}
+}
+
+func TestCompareSeriesThroughputImprovement(t *testing.T) {
+	base := `{"Points":[{"ThroughputKbps":40,"ThroughputKbpsStd":0.5}],"Runs":8}`
+	cand := `{"Points":[{"ThroughputKbps":50,"ThroughputKbpsStd":0.5}],"Runs":8}`
+	p := findPoint(t, compare(t, base, cand, 0), "Points[0].ThroughputKbps")
+	if p.Class != ClassImprovement {
+		t.Fatalf("significant throughput gain classified %s, want improvement: %+v", p.Class, p)
+	}
+}
+
+func TestCompareSeriesWithinTolerance(t *testing.T) {
+	base := `{"Points":[{"BER":0.010,"BERStd":0.002}],"Runs":4}`
+	cand := `{"Points":[{"BER":0.0105,"BERStd":0.002}],"Runs":4}`
+	p := findPoint(t, compare(t, base, cand, 0), "Points[0].BER")
+	if p.Class != ClassOK {
+		t.Fatalf("5%% BER shift classified %s, want ok (±10%% band): %+v", p.Class, p)
+	}
+}
+
+func TestCompareSeriesDriftWithoutStatistics(t *testing.T) {
+	// 20% over a 10% band, no std sibling, no trial count: drift — enough
+	// to report, not enough to block.
+	base := `{"RawRateKbps":40}`
+	cand := `{"RawRateKbps":48}`
+	p := findPoint(t, compare(t, base, cand, 0), "RawRateKbps")
+	if p.Class != ClassDrift {
+		t.Fatalf("20%% no-stats shift classified %s, want drift: %+v", p.Class, p)
+	}
+}
+
+func TestCompareSeriesHardFactorEscalates(t *testing.T) {
+	// 50% shift on a lower-is-better field with no statistics: beyond
+	// HardFactor x Tolerance, so it regresses even without a test.
+	base := `{"MeanBER":0.010}`
+	cand := `{"MeanBER":0.015}`
+	p := findPoint(t, compare(t, base, cand, 0), "MeanBER")
+	if p.Class != ClassRegression {
+		t.Fatalf("50%% BER shift classified %s, want regression: %+v", p.Class, p)
+	}
+}
+
+func TestCompareSeriesUnknownPolarityRegresses(t *testing.T) {
+	// A significant move in a metric the sentinel has no polarity for must
+	// block: an unexplained science shift is a human's call.
+	base := `{"Widget":10,"WidgetStd":0.1}`
+	cand := `{"Widget":20,"WidgetStd":0.1}`
+	p := findPoint(t, compare(t, base, cand, 8), "Widget")
+	if p.Class != ClassRegression {
+		t.Fatalf("unknown-polarity significant shift classified %s, want regression: %+v", p.Class, p)
+	}
+}
+
+func TestCompareSeriesTrialCountFromProvenance(t *testing.T) {
+	// No Runs field in the series: n comes from the provenance argument and
+	// still powers the Welch test.
+	base := `{"Points":[{"BER":0.01,"BERStd":0.002}]}`
+	cand := `{"Points":[{"BER":0.10,"BERStd":0.002}]}`
+	p := findPoint(t, compare(t, base, cand, 4), "Points[0].BER")
+	if p.Class != ClassRegression || p.P == nil {
+		t.Fatalf("provenance trial count not applied: %+v", p)
+	}
+}
+
+func TestCompareSeriesStructural(t *testing.T) {
+	base := `{"A":1,"B":2,"Name":"fig","Arr":[{"x":1},{"x":2}]}`
+	cand := `{"A":1,"Name":"gif","Arr":[{"x":1}]}`
+	pts := compare(t, base, cand, 0)
+	if p := findPoint(t, pts, "B"); p.Class != ClassRegression {
+		t.Errorf("missing candidate field classified %s, want regression", p.Class)
+	}
+	if p := findPoint(t, pts, "Name"); p.Class != ClassRegression {
+		t.Errorf("changed label classified %s, want regression", p.Class)
+	}
+	if p := findPoint(t, pts, "Arr"); p.Class != ClassRegression {
+		t.Errorf("array length change classified %s, want regression", p.Class)
+	}
+}
+
+func TestCompareSeriesNewBaselineFieldRegresses(t *testing.T) {
+	base := `{"A":1}`
+	cand := `{"A":1,"New":2}`
+	p := findPoint(t, compare(t, base, cand, 0), "New")
+	if p.Class != ClassRegression {
+		t.Errorf("field absent from baseline classified %s, want regression (schema changed)", p.Class)
+	}
+}
+
+func TestCompareSeriesRawSamplesBootstrap(t *testing.T) {
+	base := `{"runBERs":[0.010,0.012,0.009,0.011,0.010,0.011]}`
+	cand := `{"runBERs":[0.030,0.032,0.029,0.031,0.030,0.031]}`
+	p := findPoint(t, compare(t, base, cand, 0), "runBERs")
+	if p.Class != ClassRegression {
+		t.Fatalf("3x raw-sample BER shift classified %s, want regression: %+v", p.Class, p)
+	}
+	if p.P == nil {
+		t.Fatal("expected a bootstrap p-value")
+	}
+	// And identical samples stay ok.
+	for _, q := range compare(t, base, base, 0) {
+		if q.Class != ClassOK {
+			t.Errorf("identical raw samples classified %s", q.Class)
+		}
+	}
+}
+
+func TestWorseOrdering(t *testing.T) {
+	order := []Class{ClassOK, ClassImprovement, ClassDrift, ClassRegression}
+	for i, a := range order {
+		for j, b := range order {
+			want := a
+			if j > i {
+				want = b
+			}
+			if got := Worse(a, b); got != want {
+				t.Errorf("Worse(%s, %s) = %s, want %s", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestPolarity(t *testing.T) {
+	cases := map[string]int{
+		"BER":            -1,
+		"baLosses":       -1,
+		"P90":            -1,
+		"ThroughputKbps": +1,
+		"DetectionRate":  +1,
+		"Delivered":      +1,
+		"Widget":         0,
+	}
+	for key, want := range cases {
+		if got := polarity(key); got != want {
+			t.Errorf("polarity(%q) = %d, want %d", key, got, want)
+		}
+	}
+}

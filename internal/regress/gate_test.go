@@ -1,0 +1,278 @@
+package regress
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"witag/internal/obs"
+)
+
+// fixtureSeries is a fig5-shaped science series for gate tests.
+type fixtureSeries struct {
+	Points []fixturePoint
+	Runs   int
+}
+
+type fixturePoint struct {
+	DistanceM      float64
+	BER            float64
+	BERStd         float64
+	ThroughputKbps float64
+}
+
+func fixture() fixtureSeries {
+	return fixtureSeries{
+		Runs: 4,
+		Points: []fixturePoint{
+			{DistanceM: 1, BER: 0.010, BERStd: 0.002, ThroughputKbps: 40.1},
+			{DistanceM: 4, BER: 0.020, BERStd: 0.003, ThroughputKbps: 39.2},
+		},
+	}
+}
+
+func fixtureSnapshot() obs.Snapshot {
+	return obs.Snapshot{
+		Counters: map[string]int64{
+			"phy.rounds":            800,
+			"runner.trials_started": 8,
+		},
+		Gauges: map[string]int64{},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"runner.trial_wall_ms": {
+				Bounds: []int64{1, 2, 4, 8},
+				Counts: []int64{0, 2, 4, 2, 0},
+				Sum:    30, Count: 8,
+			},
+		},
+		Volatile: map[string]bool{"runner.trial_wall_ms": true},
+	}
+}
+
+func fixtureProv() Provenance {
+	return Provenance{
+		GitSHA: "abc123def456", GoVersion: "go1.22",
+		TimestampUTC: "2026-01-01T00:00:00Z",
+		Experiment:   "fig5", Seed: 42, Trials: 8, Runs: 4, Workers: 2,
+	}
+}
+
+// writeFixture lays one experiment's artifact pair into dir.
+func writeFixture(t *testing.T, dir string, series fixtureSeries, snap obs.Snapshot) {
+	t.Helper()
+	if err := WriteSeries(dir, "fig5", fixtureProv(), series); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetrics(dir, "fig5", fixtureProv(), snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func gateFixture(t *testing.T, mutate func(s *fixtureSeries, snap *obs.Snapshot), opts Options) *Report {
+	t.Helper()
+	baseDir := t.TempDir()
+	candDir := t.TempDir()
+	writeFixture(t, baseDir, fixture(), fixtureSnapshot())
+	s, snap := fixture(), fixtureSnapshot()
+	if mutate != nil {
+		mutate(&s, &snap)
+	}
+	writeFixture(t, candDir, s, snap)
+	rep, err := Gate(baseDir, candDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestGateIdenticalPasses(t *testing.T) {
+	rep := gateFixture(t, nil, DefaultOptions())
+	if rep.Verdict != ClassOK {
+		j, _ := rep.JSON()
+		t.Fatalf("identical artifacts gated %s, want ok\n%s", rep.Verdict, j)
+	}
+}
+
+func TestGatePerturbedBERFails(t *testing.T) {
+	rep := gateFixture(t, func(s *fixtureSeries, _ *obs.Snapshot) {
+		s.Points[1].BER *= 10 // far beyond the ±10% band, significant under Welch
+	}, DefaultOptions())
+	if rep.Verdict != ClassRegression {
+		t.Fatalf("10x BER gated %s, want regression", rep.Verdict)
+	}
+	found := false
+	for _, p := range rep.Experiments[0].Points {
+		if p.Path == "Points[1].BER" && p.Class == ClassRegression {
+			found = true
+		}
+	}
+	if !found {
+		j, _ := rep.JSON()
+		t.Fatalf("no regression verdict on Points[1].BER\n%s", j)
+	}
+}
+
+func TestGateCounterOffByOneFails(t *testing.T) {
+	rep := gateFixture(t, func(_ *fixtureSeries, snap *obs.Snapshot) {
+		snap.Counters["phy.rounds"]++ // the equality tier tolerates nothing
+	}, DefaultOptions())
+	if rep.Verdict != ClassRegression {
+		t.Fatalf("counter off by one gated %s, want regression", rep.Verdict)
+	}
+	diffs := rep.Experiments[0].MetricDiffs
+	if len(diffs) != 1 || diffs[0].Name != "phy.rounds" || diffs[0].Cand-diffs[0].Base != 1 {
+		t.Fatalf("unexpected metric diffs: %+v", diffs)
+	}
+}
+
+func TestGateVolatileHistogramNeverEqualityGated(t *testing.T) {
+	// A wall-clock histogram may differ arbitrarily without tripping the
+	// equality tier; with the budget off it does not trip the perf tier
+	// either.
+	opts := DefaultOptions()
+	opts.Budget = 0
+	rep := gateFixture(t, func(_ *fixtureSeries, snap *obs.Snapshot) {
+		h := snap.Histograms["runner.trial_wall_ms"]
+		h.Counts = []int64{0, 0, 0, 0, 8}
+		h.Sum, h.Count = 900, 8
+		snap.Histograms["runner.trial_wall_ms"] = h
+	}, opts)
+	if rep.Verdict != ClassOK {
+		j, _ := rep.JSON()
+		t.Fatalf("volatile-only change gated %s with budget off, want ok\n%s", rep.Verdict, j)
+	}
+}
+
+func TestGatePerfBudgetBreach(t *testing.T) {
+	rep := gateFixture(t, func(_ *fixtureSeries, snap *obs.Snapshot) {
+		h := snap.Histograms["runner.trial_wall_ms"]
+		h.Counts = []int64{0, 0, 0, 0, 8} // everything lands in overflow: p50 8 vs baseline 2
+		h.Sum, h.Count = 900, 8
+		snap.Histograms["runner.trial_wall_ms"] = h
+	}, DefaultOptions()) // budget 1.3
+	if rep.Verdict != ClassRegression {
+		t.Fatalf("4x wall-clock gated %s under a 1.3x budget, want regression", rep.Verdict)
+	}
+	if n := perfBreaches(rep.Experiments[0].Perf); n == 0 {
+		t.Fatalf("no perf breaches recorded: %+v", rep.Experiments[0].Perf)
+	}
+}
+
+func TestGateMissingCandidateArtifact(t *testing.T) {
+	baseDir, candDir := t.TempDir(), t.TempDir()
+	writeFixture(t, baseDir, fixture(), fixtureSnapshot())
+	// Candidate dir holds a different experiment only.
+	if err := WriteSeries(candDir, "other", Provenance{Seed: 1}, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Gate(baseDir, candDir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != ClassRegression {
+		t.Fatalf("vanished experiment gated %s, want regression", rep.Verdict)
+	}
+	byName := map[string]string{}
+	for _, e := range rep.Experiments {
+		byName[e.Name] = e.Missing
+	}
+	if byName["fig5"] != "candidate" || byName["other"] != "baseline" {
+		t.Fatalf("missing sides misattributed: %v", byName)
+	}
+}
+
+func TestGateReportByteIdentical(t *testing.T) {
+	baseDir, candDir := t.TempDir(), t.TempDir()
+	writeFixture(t, baseDir, fixture(), fixtureSnapshot())
+	s := fixture()
+	s.Points[0].BER *= 5 // force the statistical tier (and its bootstrap-free Welch path) to engage
+	writeFixture(t, candDir, s, fixtureSnapshot())
+
+	render := func() (string, string) {
+		rep, err := Gate(baseDir, candDir, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j, rep.Render()
+	}
+	j1, t1 := render()
+	j2, t2 := render()
+	if j1 != j2 {
+		t.Fatal("JSON reports differ across runs over the same artifacts")
+	}
+	if t1 != t2 {
+		t.Fatal("text reports differ across runs over the same artifacts")
+	}
+}
+
+func TestGateEmptyBaselineErrors(t *testing.T) {
+	if _, err := Gate(t.TempDir(), t.TempDir(), DefaultOptions()); err == nil {
+		t.Fatal("expected an error for an empty baseline dir")
+	}
+}
+
+func TestLoadDirLegacyArtifacts(t *testing.T) {
+	// Artifacts that predate the provenance envelope: a bare series and a
+	// bare snapshot at top level. Both must still load and compare.
+	dir := t.TempDir()
+	series, _ := json.Marshal(fixture())
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_fig5.json"), series, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := json.Marshal(fixtureSnapshot())
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_fig5.metrics.json"), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arts, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arts["fig5"]
+	if a == nil || a.Series == nil || a.Metrics == nil {
+		t.Fatalf("legacy artifacts did not load: %+v", a)
+	}
+	if a.SeriesProv != nil || a.MetricsProv != nil {
+		t.Fatalf("legacy artifacts grew provenance from nowhere: %+v", a)
+	}
+
+	// And a legacy baseline gates cleanly against a stamped candidate of
+	// the same science.
+	candDir := t.TempDir()
+	writeFixture(t, candDir, fixture(), fixtureSnapshot())
+	rep, err := Gate(dir, candDir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != ClassOK {
+		j, _ := rep.JSON()
+		t.Fatalf("legacy baseline vs identical candidate gated %s\n%s", rep.Verdict, j)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, fixture(), fixtureSnapshot())
+	arts, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arts["fig5"]
+	if a == nil || a.SeriesProv == nil || a.MetricsProv == nil {
+		t.Fatalf("round trip lost provenance: %+v", a)
+	}
+	if a.SeriesProv.GitSHA != "abc123def456" || a.MetricsProv.Trials != 8 {
+		t.Fatalf("provenance fields corrupted: %+v %+v", a.SeriesProv, a.MetricsProv)
+	}
+	var got fixtureSeries
+	if err := json.Unmarshal(a.Series, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 2 || got.Runs != 4 {
+		t.Fatalf("series corrupted: %+v", got)
+	}
+}

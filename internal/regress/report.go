@@ -1,0 +1,312 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"witag/internal/obs"
+)
+
+// PerfCheck is one volatile histogram's quantile-ratio comparison — the
+// budget tier. Ratio is candidate/baseline at the given quantile.
+type PerfCheck struct {
+	Name     string  `json:"name"`
+	Quantile float64 `json:"quantile"`
+	Base     int64   `json:"base"` // instrument units (ms, µs …)
+	Cand     int64   `json:"cand"`
+	Ratio    float64 `json:"ratio"`
+	Class    Class   `json:"class"`
+}
+
+// perfQuantiles are the tail points the budget tier checks.
+var perfQuantiles = []float64{0.50, 0.99}
+
+// ComparePerf compares every volatile histogram present in both snapshots
+// by quantile ratio against the budget. Budget <= 0 still reports the
+// ratios but classifies everything ok — informational mode for
+// cross-machine comparisons where wall clocks cannot gate.
+func ComparePerf(base, cand obs.Snapshot, budget float64) []PerfCheck {
+	var names []string
+	for n := range base.Histograms {
+		if base.Volatile[n] || cand.Volatile[n] {
+			if _, ok := cand.Histograms[n]; ok {
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	var out []PerfCheck
+	for _, n := range names {
+		bh, ch := base.Histograms[n], cand.Histograms[n]
+		for _, q := range perfQuantiles {
+			bq, cq := bh.Quantile(q), ch.Quantile(q)
+			if bq <= 0 || bh.Count == 0 || ch.Count == 0 {
+				continue
+			}
+			pc := PerfCheck{Name: n, Quantile: q, Base: bq, Cand: cq,
+				Ratio: float64(cq) / float64(bq), Class: ClassOK}
+			if budget > 0 && pc.Ratio > budget {
+				pc.Class = ClassRegression
+			}
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+// ExperimentReport is the sentinel's verdict on one experiment.
+type ExperimentReport struct {
+	Name string `json:"name"`
+
+	BaselineProv  *Provenance `json:"baselineProvenance,omitempty"`
+	CandidateProv *Provenance `json:"candidateProvenance,omitempty"`
+
+	// Missing notes a side that lacks the artifact entirely; a vanished
+	// experiment is itself a regression.
+	Missing string `json:"missing,omitempty"`
+
+	Points      []PointVerdict       `json:"points,omitempty"`
+	MetricDiffs []obs.InstrumentDiff `json:"metricDiffs,omitempty"`
+	Perf        []PerfCheck          `json:"perf,omitempty"`
+
+	Verdict Class `json:"verdict"`
+}
+
+// Counts tallies the experiment's point classes.
+func (e *ExperimentReport) Counts() (ok, drift, regr, impr int) {
+	for _, p := range e.Points {
+		switch p.Class {
+		case ClassOK:
+			ok++
+		case ClassDrift:
+			drift++
+		case ClassRegression:
+			regr++
+		case ClassImprovement:
+			impr++
+		}
+	}
+	return
+}
+
+// Report is the whole gate run: every experiment's tiers folded into one
+// overall verdict. It contains nothing non-deterministic — rendering the
+// same artifact pair twice yields byte-identical JSON.
+type Report struct {
+	BaselineDir  string             `json:"baselineDir"`
+	CandidateDir string             `json:"candidateDir"`
+	Options      Options            `json:"options"`
+	Experiments  []ExperimentReport `json:"experiments"`
+	Verdict      Class              `json:"verdict"`
+}
+
+// Gate loads both artifact directories and compares every experiment
+// through the three tiers. The error return covers unreadable inputs
+// only; science verdicts live in the report.
+func Gate(baselineDir, candidateDir string, opts Options) (*Report, error) {
+	base, err := LoadDir(baselineDir)
+	if err != nil {
+		return nil, fmt.Errorf("regress: baseline: %w", err)
+	}
+	cand, err := LoadDir(candidateDir)
+	if err != nil {
+		return nil, fmt.Errorf("regress: candidate: %w", err)
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("regress: no BENCH_*.json artifacts under %s", baselineDir)
+	}
+	rep := &Report{BaselineDir: baselineDir, CandidateDir: candidateDir, Options: opts, Verdict: ClassOK}
+	for _, name := range names(base, cand) {
+		er, err := gateExperiment(name, base[name], cand[name], opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Experiments = append(rep.Experiments, *er)
+		rep.Verdict = Worse(rep.Verdict, er.Verdict)
+	}
+	return rep, nil
+}
+
+func gateExperiment(name string, b, c *Artifact, opts Options) (*ExperimentReport, error) {
+	er := &ExperimentReport{Name: name, Verdict: ClassOK}
+	if b == nil || c == nil {
+		if b == nil {
+			er.Missing = "baseline"
+		} else {
+			er.Missing = "candidate"
+		}
+		er.Verdict = ClassRegression
+		if b != nil {
+			er.BaselineProv = b.SeriesProv
+		}
+		if c != nil {
+			er.CandidateProv = c.SeriesProv
+		}
+		return er, nil
+	}
+	er.BaselineProv = firstProv(b)
+	er.CandidateProv = firstProv(c)
+
+	// Tier 2 — statistics over the science series.
+	switch {
+	case b.Series == nil && c.Series == nil:
+		// metrics-only artifact pair; nothing to compare here
+	case b.Series == nil || c.Series == nil:
+		side := "candidate"
+		if b.Series == nil {
+			side = "baseline"
+		}
+		er.Points = append(er.Points, PointVerdict{Path: "(series)", Class: ClassRegression,
+			Detail: "series artifact missing in " + side})
+	default:
+		n := provTrialCount(er.BaselineProv)
+		pts, err := CompareSeries(b.Series, c.Series, n, opts)
+		if err != nil {
+			return nil, fmt.Errorf("regress: %s: %w", name, err)
+		}
+		er.Points = pts
+	}
+
+	// Tier 1 — exact equality of deterministic metrics; tier 3 — perf
+	// budget on the volatile histograms.
+	switch {
+	case b.Metrics == nil && c.Metrics == nil:
+	case b.Metrics == nil || c.Metrics == nil:
+		side := "candidate"
+		if b.Metrics == nil {
+			side = "baseline"
+		}
+		er.MetricDiffs = append(er.MetricDiffs, obs.InstrumentDiff{
+			Kind: "snapshot", Name: "(all)", Detail: "metrics artifact missing in " + side})
+	default:
+		er.MetricDiffs = obs.DiffDeterministic(*b.Metrics, *c.Metrics)
+		er.Perf = ComparePerf(*b.Metrics, *c.Metrics, opts.Budget)
+	}
+
+	for _, p := range er.Points {
+		er.Verdict = Worse(er.Verdict, p.Class)
+	}
+	if len(er.MetricDiffs) > 0 {
+		er.Verdict = ClassRegression
+	}
+	for _, pc := range er.Perf {
+		er.Verdict = Worse(er.Verdict, pc.Class)
+	}
+	return er, nil
+}
+
+// provTrialCount extracts the per-point trial count the statistical tier
+// falls back to when the series carries none of its own.
+func provTrialCount(p *Provenance) int {
+	if p == nil {
+		return 0
+	}
+	if p.Runs > 0 {
+		return p.Runs
+	}
+	if p.Transfers > 0 {
+		return p.Transfers
+	}
+	return 0
+}
+
+// firstProv prefers the series artifact's stamp, falling back to the
+// metrics file's.
+func firstProv(a *Artifact) *Provenance {
+	if a.SeriesProv != nil {
+		return a.SeriesProv
+	}
+	return a.MetricsProv
+}
+
+// JSON renders the report as indented JSON (byte-identical across runs
+// over the same artifact pair: every map is sorted, nothing reads the
+// clock).
+func (r *Report) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// Render prints the report as aligned text: a per-experiment summary
+// table, then detail blocks for every experiment that is not clean.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "regression gate: %s (baseline) vs %s (candidate)\n", r.BaselineDir, r.CandidateDir)
+	budget := "off"
+	if r.Options.Budget > 0 {
+		budget = fmt.Sprintf("%gx", r.Options.Budget)
+	}
+	fmt.Fprintf(&b, "tolerance ±%g%% · alpha %g · perf budget %s\n\n",
+		r.Options.Tolerance*100, r.Options.Alpha, budget)
+
+	fmt.Fprintf(&b, "%-12s %-26s %-10s %-6s %s\n", "experiment", "points ok/drift/regr/impr", "metrics", "perf", "verdict")
+	for i := range r.Experiments {
+		e := &r.Experiments[i]
+		ok, drift, regr, impr := e.Counts()
+		metrics := "clean"
+		if len(e.MetricDiffs) > 0 {
+			metrics = fmt.Sprintf("%d diffs", len(e.MetricDiffs))
+		}
+		perf := "-"
+		if n := perfBreaches(e.Perf); n > 0 {
+			perf = fmt.Sprintf("%d over", n)
+		} else if len(e.Perf) > 0 {
+			perf = "ok"
+		}
+		verdict := string(e.Verdict)
+		if e.Missing != "" {
+			verdict = fmt.Sprintf("%s (missing in %s)", verdict, e.Missing)
+		}
+		fmt.Fprintf(&b, "%-12s %-26s %-10s %-6s %s\n",
+			e.Name, fmt.Sprintf("%d/%d/%d/%d", ok, drift, regr, impr), metrics, perf, verdict)
+	}
+
+	for i := range r.Experiments {
+		e := &r.Experiments[i]
+		if e.Verdict == ClassOK {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s — %s\n", e.Name, e.Verdict)
+		fmt.Fprintf(&b, "  baseline:  %s\n", e.BaselineProv.String())
+		fmt.Fprintf(&b, "  candidate: %s\n", e.CandidateProv.String())
+		for _, p := range e.Points {
+			if p.Class == ClassOK {
+				continue
+			}
+			pv := ""
+			if p.P != nil {
+				pv = fmt.Sprintf("  p=%.4g", *p.P)
+			}
+			fmt.Fprintf(&b, "  %-11s %-28s %.6g → %.6g  rel %.1f%%%s  %s\n",
+				p.Class, p.Path, p.Baseline, p.Candidate, p.RelErr*100, pv, p.Detail)
+		}
+		for _, d := range e.MetricDiffs {
+			fmt.Fprintf(&b, "  metric      %-9s %-28s %d → %d  %s\n", d.Kind, d.Name, d.Base, d.Cand, d.Detail)
+		}
+		for _, pc := range e.Perf {
+			if pc.Class == ClassOK {
+				continue
+			}
+			fmt.Fprintf(&b, "  perf        %-28s p%g %d → %d  %.2fx over budget\n",
+				pc.Name, pc.Quantile*100, pc.Base, pc.Cand, pc.Ratio)
+		}
+	}
+
+	fmt.Fprintf(&b, "\noverall: %s\n", strings.ToUpper(string(r.Verdict)))
+	return b.String()
+}
+
+func perfBreaches(perf []PerfCheck) int {
+	n := 0
+	for _, pc := range perf {
+		if pc.Class != ClassOK {
+			n++
+		}
+	}
+	return n
+}

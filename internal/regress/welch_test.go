@@ -1,0 +1,113 @@
+package regress
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelchTKnownValue(t *testing.T) {
+	// m1=10 s1=2 n1=5 vs m2=13 s2=3 n2=5:
+	// v1=0.8, v2=1.8, t = 3/sqrt(2.6), df = 2.6^2/(0.8^2/4 + 1.8^2/4).
+	tt, df := WelchT(10, 2, 5, 13, 3, 5)
+	if math.Abs(tt-3/math.Sqrt(2.6)) > 1e-12 {
+		t.Errorf("t = %v, want %v", tt, 3/math.Sqrt(2.6))
+	}
+	wantDF := 2.6 * 2.6 / (0.8*0.8/4 + 1.8*1.8/4)
+	if math.Abs(df-wantDF) > 1e-12 {
+		t.Errorf("df = %v, want %v", df, wantDF)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if tt, _ := WelchT(5, 0, 4, 5, 0, 4); tt != 0 {
+		t.Errorf("zero variance, equal means: t = %v, want 0", tt)
+	}
+	if tt, _ := WelchT(5, 0, 4, 6, 0, 4); !math.IsInf(tt, 1) {
+		t.Errorf("zero variance, unequal means: t = %v, want +Inf", tt)
+	}
+	if p := WelchP(5, 0, 4, 5, 0, 4); p != 1 {
+		t.Errorf("identical degenerate samples: p = %v, want 1", p)
+	}
+	if p := WelchP(5, 0, 4, 6, 0, 4); p != 0 {
+		t.Errorf("separated degenerate samples: p = %v, want 0", p)
+	}
+}
+
+func TestStudentTPExact(t *testing.T) {
+	// df=1 is the Cauchy distribution: P(|T| >= 1) = 1/2 exactly.
+	if p := studentTP(1, 1); math.Abs(p-0.5) > 1e-10 {
+		t.Errorf("studentTP(1, 1) = %v, want 0.5", p)
+	}
+	// df=2 has the closed form P(|T| >= t) = 1 - t/sqrt(2+t^2).
+	tt := math.Sqrt2
+	want := 1 - tt/math.Sqrt(2+tt*tt)
+	if p := studentTP(tt, 2); math.Abs(p-want) > 1e-10 {
+		t.Errorf("studentTP(sqrt2, 2) = %v, want %v", p, want)
+	}
+	if p := studentTP(0, 7); p != 1 {
+		t.Errorf("studentTP(0, 7) = %v, want 1", p)
+	}
+	if p := studentTP(math.Inf(1), 7); p != 0 {
+		t.Errorf("studentTP(Inf, 7) = %v, want 0", p)
+	}
+}
+
+func TestStudentTPMonotone(t *testing.T) {
+	prev := 1.1
+	for _, tt := range []float64{0, 0.5, 1, 2, 4, 8, 16} {
+		p := studentTP(tt, 9)
+		if p > prev {
+			t.Fatalf("p not monotone in |t|: p(%v) = %v after %v", tt, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestWelchPSymmetric(t *testing.T) {
+	a := WelchP(0.01, 0.002, 4, 0.013, 0.003, 4)
+	b := WelchP(0.013, 0.003, 4, 0.01, 0.002, 4)
+	if a != b {
+		t.Errorf("WelchP not symmetric: %v vs %v", a, b)
+	}
+	if a <= 0 || a >= 1 {
+		t.Errorf("p = %v out of (0, 1)", a)
+	}
+}
+
+func TestWelchPSeparatedMeans(t *testing.T) {
+	// BER 0.01 vs 0.10 with tiny spread over 4 runs: wildly significant.
+	if p := WelchP(0.01, 0.002, 4, 0.10, 0.002, 4); p > 1e-4 {
+		t.Errorf("p = %v for a 10x BER shift, want < 1e-4", p)
+	}
+	// Same mean, overlapping spread: nowhere near significant.
+	if p := WelchP(0.01, 0.002, 4, 0.011, 0.002, 4); p < 0.3 {
+		t.Errorf("p = %v for an in-noise shift, want > 0.3", p)
+	}
+}
+
+func TestBootstrapPDeterministic(t *testing.T) {
+	a := []float64{0.010, 0.012, 0.009, 0.011, 0.010}
+	b := []float64{0.013, 0.015, 0.012, 0.014, 0.013}
+	p1 := BootstrapP(a, b, 0)
+	p2 := BootstrapP(a, b, 0)
+	if p1 != p2 {
+		t.Fatalf("BootstrapP not deterministic: %v vs %v", p1, p2)
+	}
+	if p1 <= 0 || p1 > 1 {
+		t.Fatalf("p = %v out of (0, 1]", p1)
+	}
+}
+
+func TestBootstrapPSeparation(t *testing.T) {
+	a := []float64{1.00, 1.05, 0.95, 1.02, 0.98, 1.01}
+	b := []float64{2.00, 2.05, 1.95, 2.02, 1.98, 2.01}
+	if p := BootstrapP(a, b, 0); p > 0.01 {
+		t.Errorf("p = %v for fully separated samples, want <= 0.01", p)
+	}
+	if p := BootstrapP(a, a, 0); p != 1 {
+		t.Errorf("p = %v for identical samples, want 1", p)
+	}
+	if p := BootstrapP(nil, b, 0); p != 1 {
+		t.Errorf("p = %v for an empty sample, want 1", p)
+	}
+}
