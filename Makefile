@@ -75,13 +75,16 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -n 1
 
-# Time-boxed coverage-guided fuzzing of the frame codec; `make fuzzseed`
-# replays just the checked-in corpus (fast, deterministic — the CI form).
+# Time-boxed coverage-guided fuzzing of the frame codec and the erasure
+# coders; `make fuzzseed` replays just the checked-in corpus (fast,
+# deterministic — the CI form).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCodecDecode -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzFountainDecode -fuzztime=$(FUZZTIME) ./internal/coding
+	$(GO) test -run='^$$' -fuzz=FuzzRSDecode -fuzztime=$(FUZZTIME) ./internal/coding
 
 fuzzseed:
-	$(GO) test -run='^Fuzz' ./internal/core
+	$(GO) test -run='^Fuzz' ./internal/core ./internal/coding
 
 # The worker-count determinism contract, for results AND for the
 # observability layer: metrics snapshots must be identical for 1 vs N

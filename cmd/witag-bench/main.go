@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	witag-bench [-experiment all|fig3|fig5|fig6|s41|compare|power|ablations|robustness]
+//	witag-bench [-experiment all|fig3|fig5|fig6|s41|compare|power|ablations|robustness|coding]
 //	            [-seed N] [-runs N] [-rounds N] [-parallel N] [-json DIR]
 //	            [-fault PROFILE] [-transfers N]
+//	            [-transfer all|arq|fountain|rs] [-traffic all|PROFILE]
 //	            [-metrics-addr HOST:PORT] [-trace FILE] [-trace-out DIR]
 //	            [-trace-cap N] [-progress]
 //
@@ -57,10 +58,11 @@ import (
 	"witag/internal/obs"
 	"witag/internal/regress"
 	"witag/internal/sim"
+	"witag/internal/traffic"
 )
 
 // experimentNames lists every -experiment value, in run order.
-var experimentNames = []string{"all", "fig3", "fig5", "fig6", "s41", "compare", "power", "ablations", "robustness"}
+var experimentNames = []string{"all", "fig3", "fig5", "fig6", "s41", "compare", "power", "ablations", "robustness", "coding"}
 
 func knownExperiment(name string) bool {
 	for _, n := range experimentNames {
@@ -80,6 +82,8 @@ type benchConfig struct {
 	jsonDir    string
 	faultProf  string
 	transfers  int
+	transfer   string
+	trafficSel string
 
 	metricsAddr string
 	tracePath   string
@@ -98,6 +102,8 @@ func main() {
 	flag.StringVar(&cfg.jsonDir, "json", "", "directory to write BENCH_<name>.json series into (empty: off)")
 	flag.StringVar(&cfg.faultProf, "fault", "bursty", "fault profile for the robustness sweep: "+strings.Join(fault.Names(), ", "))
 	flag.IntVar(&cfg.transfers, "transfers", 100, "transfers per sweep point per mode (robustness)")
+	flag.StringVar(&cfg.transfer, "transfer", "all", "transfer scheme for the coding sweep: all, "+strings.Join(experiments.CodingSchemes, ", "))
+	flag.StringVar(&cfg.trafficSel, "traffic", "all", "ambient-traffic profile for the coding sweep: all (the full profile grid), "+strings.Join(traffic.Names(), ", "))
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run (empty: off)")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write per-round/per-transfer trace events as JSONL to this file (empty: off)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write one TRACE_<name>.jsonl per experiment under this directory (empty: off)")
@@ -138,15 +144,17 @@ func provenance(cfg benchConfig) regress.Provenance {
 		workers = runtime.NumCPU()
 	}
 	return regress.Provenance{
-		GitSHA:       gitSHA(),
-		GoVersion:    runtime.Version(),
-		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
-		Seed:         cfg.seed,
-		Runs:         cfg.runs,
-		Rounds:       cfg.rounds,
-		Transfers:    cfg.transfers,
-		Workers:      workers,
-		FaultProfile: cfg.faultProf,
+		GitSHA:         gitSHA(),
+		GoVersion:      runtime.Version(),
+		TimestampUTC:   time.Now().UTC().Format(time.RFC3339),
+		Seed:           cfg.seed,
+		Runs:           cfg.runs,
+		Rounds:         cfg.rounds,
+		Transfers:      cfg.transfers,
+		Workers:        workers,
+		FaultProfile:   cfg.faultProf,
+		TransferScheme: cfg.transfer,
+		TrafficProfile: cfg.trafficSel,
 	}
 }
 
@@ -158,6 +166,14 @@ func run(ctx context.Context, cfg benchConfig) error {
 	}
 	if _, err := fault.Named(cfg.faultProf); err != nil {
 		return err // fault.Named lists the valid profile names
+	}
+	if cfg.transfer != "all" && !experiments.KnownCodingScheme(cfg.transfer) {
+		return fmt.Errorf("unknown transfer scheme %q (valid: all, %s)", cfg.transfer, strings.Join(experiments.CodingSchemes, ", "))
+	}
+	if cfg.trafficSel != "all" {
+		if _, err := traffic.Named(cfg.trafficSel); err != nil {
+			return err // traffic.Named lists the valid profile names
+		}
 	}
 	if cfg.tracePath != "" && cfg.traceOut != "" {
 		return fmt.Errorf("-trace and -trace-out are exclusive: one ring for the whole run, or one per experiment")
@@ -424,6 +440,44 @@ func run(ctx context.Context, cfg benchConfig) error {
 			return err
 		}
 		return emit("robustness", res)
+	}); err != nil {
+		return err
+	}
+	if err := runExperiment("coding", func(sim.Runner) error {
+		ccfg := experiments.DefaultAdaptiveCodingConfig()
+		ccfg.Seed = seed
+		ccfg.Workers = parallel
+		full := cfg.transfer == "all" && cfg.trafficSel == "all"
+		if cfg.transfer != "all" {
+			ccfg.Schemes = []string{cfg.transfer}
+		}
+		if cfg.trafficSel != "all" {
+			// Narrow the grid to the profiles composed with the selected
+			// ambient-traffic preset.
+			var kept []experiments.CodingProfile
+			for _, p := range ccfg.Profiles {
+				if p.Traffic == cfg.trafficSel {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) == 0 {
+				return fmt.Errorf("no coding profile uses traffic %q", cfg.trafficSel)
+			}
+			ccfg.Profiles = kept
+		}
+		res, err := experiments.AdaptiveCodingCtx(ctx, ccfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		// The shape claims compare all three schemes across the full grid;
+		// a -transfer/-traffic narrowed run is exploration, not a gate.
+		if full {
+			if err := res.ShapeChecks(); err != nil {
+				return err
+			}
+		}
+		return emit("coding", res)
 	}); err != nil {
 		return err
 	}

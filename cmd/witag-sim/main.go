@@ -40,28 +40,34 @@ import (
 	"syscall"
 
 	"witag/internal/channel"
+	"witag/internal/coding"
 	"witag/internal/core"
 	"witag/internal/crypto80211"
 	"witag/internal/experiments"
 	"witag/internal/fault"
+	"witag/internal/link"
 	"witag/internal/obs"
 	"witag/internal/sim"
 	"witag/internal/stats"
+	"witag/internal/traffic"
 )
 
 func main() {
 	var (
-		apFlag     = flag.String("ap", "8,0", "AP position as x,y metres")
-		tagFlag    = flag.String("tag", "1,0.3", "tag position as x,y metres")
-		wallsFlag  = flag.String("walls", "", "comma-separated x:attenuationDb vertical walls")
-		cipherFlag = flag.String("cipher", "open", "link cipher: open, wep, ccmp")
-		faultFlag  = flag.String("fault", "", "fault profile injecting burst interference: "+strings.Join(fault.Names(), ", ")+" (empty: clean channel)")
-		gain       = flag.Float64("gain", experiments.TagGain, "tag effective reflection gain")
-		rounds     = flag.Int("rounds", 1000, "query rounds per run")
-		runs       = flag.Int("runs", 1, "independent measurement runs")
-		parallel   = flag.Int("parallel", 0, "concurrent trial workers; <= 0 means all CPUs")
-		seed       = flag.Int64("seed", 1, "root random seed")
-		tempC      = flag.Float64("temp", 25, "ambient temperature °C")
+		apFlag      = flag.String("ap", "8,0", "AP position as x,y metres")
+		tagFlag     = flag.String("tag", "1,0.3", "tag position as x,y metres")
+		wallsFlag   = flag.String("walls", "", "comma-separated x:attenuationDb vertical walls")
+		cipherFlag  = flag.String("cipher", "open", "link cipher: open, wep, ccmp")
+		faultFlag   = flag.String("fault", "", "fault profile injecting burst interference: "+strings.Join(fault.Names(), ", ")+" (empty: clean channel)")
+		trafficFlag = flag.String("traffic", "", "ambient-traffic profile masking colliding subframes: "+strings.Join(traffic.Names(), ", ")+" (empty: no ambient load)")
+		xferFlag    = flag.String("transfer", "", "measure payload transfers instead of raw rounds, using this scheme: "+strings.Join(experiments.CodingSchemes, ", ")+" (empty: round campaign)")
+		payloadLen  = flag.Int("payload", 96, "payload bytes per transfer (with -transfer)")
+		gain        = flag.Float64("gain", experiments.TagGain, "tag effective reflection gain")
+		rounds      = flag.Int("rounds", 1000, "query rounds per run")
+		runs        = flag.Int("runs", 1, "independent measurement runs")
+		parallel    = flag.Int("parallel", 0, "concurrent trial workers; <= 0 means all CPUs")
+		seed        = flag.Int64("seed", 1, "root random seed")
+		tempC       = flag.Float64("temp", 25, "ambient temperature °C")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run (empty: off)")
 		tracePath   = flag.String("trace", "", "write per-round trace events as JSONL to this file (empty: off)")
@@ -75,7 +81,8 @@ func main() {
 
 	cfg := deployment{
 		apStr: *apFlag, tagStr: *tagFlag, wallsStr: *wallsFlag,
-		cipherStr: *cipherFlag, faultStr: *faultFlag, gain: *gain, tempC: *tempC,
+		cipherStr: *cipherFlag, faultStr: *faultFlag, trafficStr: *trafficFlag,
+		xferStr: *xferFlag, payloadLen: *payloadLen, gain: *gain, tempC: *tempC,
 	}
 	ocfg := obsConfig{metricsAddr: *metricsAddr, tracePath: *tracePath, traceCap: *traceCap, progress: *progress}
 	if err := run(ctx, cfg, ocfg, *rounds, *runs, *parallel, *seed); err != nil {
@@ -95,6 +102,8 @@ type obsConfig struct {
 // deployment is the flag-specified scenario, buildable once per run.
 type deployment struct {
 	apStr, tagStr, wallsStr, cipherStr, faultStr string
+	trafficStr, xferStr                          string
+	payloadLen                                   int
 	gain, tempC                                  float64
 }
 
@@ -181,6 +190,16 @@ func (d deployment) build(envSeed int64) (*core.System, *channel.Environment, er
 			return nil, nil, err
 		}
 	}
+	if d.trafficStr != "" {
+		prof, err := traffic.Named(d.trafficStr)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys.Traffic, err = traffic.NewGenerator(prof, stats.SubSeed(envSeed, "traffic"))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	if err := sys.Reshape(); err != nil {
 		return nil, nil, err
 	}
@@ -190,6 +209,24 @@ func (d deployment) build(envSeed int64) (*core.System, *channel.Environment, er
 func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, parallel int, seed int64) error {
 	if runs < 1 {
 		return fmt.Errorf("need at least 1 run, got %d", runs)
+	}
+	// Satellite contract: reject bad selector values before any work — a
+	// typo must produce a usage error, never a partial campaign.
+	if cfg.faultStr != "" {
+		if _, err := fault.Named(cfg.faultStr); err != nil {
+			return err
+		}
+	}
+	if cfg.trafficStr != "" {
+		if _, err := traffic.Named(cfg.trafficStr); err != nil {
+			return err
+		}
+	}
+	if cfg.xferStr != "" && !experiments.KnownCodingScheme(cfg.xferStr) {
+		return fmt.Errorf("unknown transfer scheme %q (valid: %s)", cfg.xferStr, strings.Join(experiments.CodingSchemes, ", "))
+	}
+	if cfg.xferStr != "" && (cfg.payloadLen < 1 || cfg.payloadLen > link.MaxTransfer) {
+		return fmt.Errorf("payload %d bytes outside [1,%d]", cfg.payloadLen, link.MaxTransfer)
 	}
 
 	// Observability wiring: metrics registry plus optional trace ring,
@@ -233,6 +270,10 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 				fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", trace.Len(), ocfg.tracePath)
 			}
 		}()
+	}
+
+	if cfg.xferStr != "" {
+		return runTransfers(ctx, cfg, observer, prog, runs, parallel, seed)
 	}
 
 	trials := make([]sim.Trial, runs)
@@ -308,6 +349,109 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 			meanBER, stats.StdDev(bers), errBits, bits)
 	}
 	fmt.Printf("delivered goodput : %.1f Kbps\n", rate/1e3*(1-meanBER))
+	return nil
+}
+
+// runTransfers is the -transfer mode: each run moves one payload over the
+// deployment with the selected scheme (the same transferers the adaptive-
+// coding sweep compares) and the summary reports delivery, rounds and
+// goodput instead of raw BER.
+func runTransfers(ctx context.Context, cfg deployment, observer *obs.Observer, prog *obs.Progress, runs, parallel int, seed int64) error {
+	type outcome struct {
+		delivered bool
+		rounds    int
+		frames    int
+		airtime   float64
+		goodput   float64
+	}
+	outs, err := sim.Map(ctx, sim.Runner{Workers: parallel, Obs: observer, Progress: prog}, runs,
+		func(ctx context.Context, i int) (outcome, error) {
+			runLabel := fmt.Sprintf("run=%d", i)
+			sys, env, err := cfg.build(stats.SubSeed(seed, "sim", runLabel))
+			if err != nil {
+				return outcome{}, err
+			}
+			sys.Obs = observer
+			sys.TraceID = i
+			sys.TraceLabels = "sim/" + runLabel + "/scheme=" + cfg.xferStr
+			if sys.Faults != nil {
+				sys.Faults.Obs = observer
+				sys.Faults.TraceID = i
+				sys.Faults.TraceLabels = sys.TraceLabels
+			}
+			if sys.Traffic != nil {
+				sys.Traffic.Obs = observer
+			}
+			payload := stats.RandomBytes(stats.NewRNG(stats.SubSeed(seed, "sim", runLabel, "payload")), cfg.payloadLen)
+			xferSeed := stats.SubSeed(seed, "sim", runLabel, "xfer")
+			switch cfg.xferStr {
+			case "arq":
+				cc, err := link.NewCodingController(0)
+				if err != nil {
+					return outcome{}, err
+				}
+				xfer := link.NewTransferer(sys, env, link.DefaultPolicy(), cc, xferSeed)
+				xfer.Obs = observer
+				xfer.TraceID = i
+				xfer.TraceLabels = sys.TraceLabels
+				st, err := xfer.Send(ctx, payload)
+				if err != nil {
+					return outcome{}, err
+				}
+				return outcome{st.Delivered, st.Rounds, st.FramesSent, st.Airtime.Seconds(), st.GoodputBps()}, nil
+			case "fountain":
+				xfer := coding.NewFountainTransferer(sys, env, coding.DefaultFountainConfig(), xferSeed)
+				xfer.Obs = observer
+				xfer.TraceID = i
+				xfer.TraceLabels = sys.TraceLabels
+				st, err := xfer.Send(ctx, payload)
+				if err != nil {
+					return outcome{}, err
+				}
+				return outcome{st.Delivered, st.Rounds, st.FramesSent, st.Airtime.Seconds(), st.GoodputBps()}, nil
+			case "rs":
+				xfer := coding.NewRSTransferer(sys, env, coding.DefaultRSConfig(), xferSeed)
+				xfer.Obs = observer
+				xfer.TraceID = i
+				xfer.TraceLabels = sys.TraceLabels
+				st, err := xfer.Send(ctx, payload)
+				if err != nil {
+					return outcome{}, err
+				}
+				return outcome{st.Delivered, st.Rounds, st.FramesSent, st.Airtime.Seconds(), st.GoodputBps()}, nil
+			default:
+				return outcome{}, fmt.Errorf("unknown transfer scheme %q", cfg.xferStr)
+			}
+		})
+	if err != nil {
+		return err
+	}
+
+	delivered := 0
+	var rounds, frames float64
+	var airtime, goodput float64
+	for _, o := range outs {
+		if o.delivered {
+			delivered++
+			goodput += o.goodput
+		}
+		rounds += float64(o.rounds)
+		frames += float64(o.frames)
+		airtime += o.airtime
+	}
+	fmt.Printf("transfer scheme   : %s (%d-byte payloads)\n", cfg.xferStr, cfg.payloadLen)
+	if cfg.faultStr != "" {
+		fmt.Printf("fault profile     : %s\n", cfg.faultStr)
+	}
+	if cfg.trafficStr != "" {
+		fmt.Printf("traffic profile   : %s\n", cfg.trafficStr)
+	}
+	fmt.Printf("transfers         : %d (%.1f s of airtime)\n", runs, airtime)
+	fmt.Printf("delivery rate     : %.3f (%d/%d)\n", float64(delivered)/float64(runs), delivered, runs)
+	fmt.Printf("mean rounds       : %.1f (%.1f frames)\n", rounds/float64(runs), frames/float64(runs))
+	if delivered > 0 {
+		fmt.Printf("delivered goodput : %.1f Kbps\n", goodput/float64(delivered)/1e3)
+	}
 	return nil
 }
 

@@ -1,0 +1,165 @@
+package coding
+
+import (
+	"bytes"
+	"testing"
+
+	"witag/internal/stats"
+)
+
+// FuzzFountainDecode feeds the peeling decoder an adversarial symbol
+// stream — wrong lengths, wrong IDs, corrupted data, duplicates — and
+// checks it never panics or over-reads, and that the valid prefix of the
+// stream still round-trips when it carries enough information.
+func FuzzFountainDecode(f *testing.F) {
+	f.Add(int64(1), []byte("witag fountain"), uint8(4), []byte{})
+	f.Add(int64(2), bytes.Repeat([]byte{0xA5}, 97), uint8(12), []byte{0, 1, 2, 0xFF})
+	f.Add(int64(3), []byte{1}, uint8(1), []byte{7, 7, 7})
+	f.Add(int64(4), bytes.Repeat([]byte{3}, 300), uint8(32), []byte{0x80, 1, 9})
+	f.Fuzz(func(t *testing.T, seed int64, payload []byte, blockBytes uint8, script []byte) {
+		if len(payload) == 0 || blockBytes == 0 {
+			return
+		}
+		fc, err := NewFountain(len(payload), int(blockBytes), seed)
+		if err != nil {
+			t.Fatalf("legal geometry rejected: %v", err)
+		}
+		dec := NewFountainDecoder(fc)
+		rng := stats.NewRNG(seed)
+		// The script drives a mixed stream: each byte either injects a
+		// corrupted/garbage symbol or a valid one.
+		id := 0
+		for _, op := range script {
+			switch op % 4 {
+			case 0: // valid symbol
+				sym, err := fc.Symbol(payload, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := dec.Add(id, sym); err != nil {
+					t.Fatalf("valid symbol %d rejected: %v", id, err)
+				}
+				id++
+			case 1: // corrupted data, valid id — decoder can't tell; must not panic
+				sym := stats.RandomBytes(rng, int(blockBytes))
+				dec.Add(id+int(op), sym)
+			case 2: // wrong length — must error, not panic or over-read
+				if _, err := dec.Add(id, stats.RandomBytes(rng, int(blockBytes)+1+int(op%7))); err == nil {
+					t.Fatal("wrong-length symbol accepted")
+				}
+			case 3: // negative / duplicate ids
+				if _, err := dec.Add(-1-int(op), make([]byte, int(blockBytes))); err == nil {
+					t.Fatal("negative id accepted")
+				}
+			}
+		}
+		// Now finish the stream cleanly and require the round-trip —
+		// unless the script injected corrupted symbols (case 1), which
+		// legitimately poison the XOR algebra.
+		poisoned := false
+		for _, op := range script {
+			if op%4 == 1 {
+				poisoned = true
+				break
+			}
+		}
+		if poisoned {
+			return
+		}
+		for ; !dec.Done() && id < 40*fc.K+100; id++ {
+			sym, err := fc.Symbol(payload, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dec.Add(id, sym); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !dec.Done() {
+			t.Fatalf("clean stream of %d symbols did not decode K=%d", id, fc.K)
+		}
+		got, err := dec.Payload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("fountain round-trip mismatch")
+		}
+	})
+}
+
+// FuzzRSDecode exercises Reconstruct on arbitrary erasure patterns and
+// truncated shards: it must never panic or over-read, must reject
+// impossible inputs, and must recover the data exactly whenever at least
+// k consistent shards survive.
+func FuzzRSDecode(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(8), []byte("witag-rs-seed"), uint16(0))
+	f.Add(uint8(8), uint8(4), uint8(12), bytes.Repeat([]byte{7}, 96), uint16(0x0F))
+	f.Add(uint8(1), uint8(1), uint8(1), []byte{9}, uint16(1))
+	f.Add(uint8(16), uint8(8), uint8(4), bytes.Repeat([]byte{0xAA}, 64), uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, ku, mu, sizeu uint8, blob []byte, dropMask uint16) {
+		k := int(ku%16) + 1
+		m := int(mu%16) + 1
+		size := int(sizeu%32) + 1
+		rs, err := NewRS(k, m)
+		if err != nil {
+			t.Fatalf("legal geometry k=%d m=%d rejected: %v", k, m, err)
+		}
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, size)
+			for j := range data[i] {
+				if len(blob) > 0 {
+					data[i][j] = blob[(i*size+j)%len(blob)]
+				}
+			}
+		}
+		parity, err := rs.Parity(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := make([][]byte, k+m)
+		dropped := 0
+		for i := 0; i < k+m; i++ {
+			if dropMask&(1<<(i%16)) != 0 {
+				dropped++
+				continue
+			}
+			src := data
+			idx := i
+			if i >= k {
+				src, idx = parity, i-k
+			}
+			shards[i] = append([]byte(nil), src[idx]...)
+		}
+		err = rs.Reconstruct(shards)
+		if dropped > m {
+			if err == nil {
+				t.Fatalf("reconstructed with %d > m=%d erasures", dropped, m)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("reconstruct failed with %d ≤ m=%d erasures: %v", dropped, m, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				t.Fatalf("data shard %d wrong after reconstruction", i)
+			}
+		}
+		// Truncated surviving shards must be rejected, never over-read.
+		if size > 1 {
+			bad := make([][]byte, k+m)
+			for i := range data {
+				bad[i] = data[i]
+			}
+			for i := range parity {
+				bad[k+i] = parity[i]
+			}
+			bad[0] = bad[0][:size-1]
+			if err := rs.Reconstruct(bad); err == nil {
+				t.Fatal("mismatched shard lengths accepted")
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"witag/internal/phy"
 	"witag/internal/stats"
 	"witag/internal/tag"
+	"witag/internal/traffic"
 )
 
 // System wires the whole WiTAG deployment together: a client (querier), an
@@ -53,6 +54,13 @@ type System struct {
 	// consumes the injector's hooks in a fixed order (see package fault)
 	// so the fault stream is reproducible from the injector's seed alone.
 	Faults *fault.Injector
+	// Traffic, when non-nil, overlays an ambient-load collision mask on
+	// every round: subframes that collide with another station's A-MPDU
+	// burst are erased at the AP. The generator draws from its own seeded
+	// stream in a fixed per-round order (see package traffic), so
+	// attaching it never perturbs the fault or channel streams. It
+	// composes with Faults — a subframe is lost if either says so.
+	Traffic *traffic.Generator
 	// Obs, when non-nil, receives per-round metrics and trace events.
 	// Instrumentation is passive: it never draws from an RNG and never
 	// branches back into the simulation, so attaching it cannot change a
@@ -263,6 +271,13 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 		}
 	}
 
+	// Ambient traffic draws once per round at this fixed point, from its
+	// own stream; the mask is applied below alongside the fault verdicts.
+	var ambient []bool
+	if s.Traffic != nil {
+		ambient = s.Traffic.RoundMask(s.Spec.Total())
+	}
+
 	// --- AP side: per-subframe decode, scoreboard, block ACK. ---
 	sb, err := mac.NewScoreboard(startSeq)
 	if err != nil {
@@ -287,6 +302,9 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 			}
 		} else if ok && stats.Bernoulli(s.rng, s.AmbientLossProb) {
 			ok = false // lost to interference outside the model
+		}
+		if ambient != nil && ambient[i] {
+			ok = false // collided with another station's A-MPDU burst
 		}
 		if ok {
 			subOK++

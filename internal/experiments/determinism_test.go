@@ -122,3 +122,30 @@ func TestRobustnessDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	assertIdentical(t, serial, parallel, serial.Render(), parallel.Render())
 }
+
+func TestAdaptiveCodingDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The coded transferers (fountain symbol streams, RS parity waves,
+	// jittered backoff) draw only from labeled SubSeed RNGs, and the
+	// ambient-traffic generator owns its own stream, so the full sweep must
+	// be byte-identical for every worker count.
+	cfg := AdaptiveCodingConfig{
+		Seed:         13,
+		PayloadBytes: 48,
+		Transfers:    4,
+		Profiles: []CodingProfile{
+			{Name: "quiet", Fault: "calm", Traffic: "quiet"},
+			{Name: "office", Fault: "bursty", Traffic: "office", Bursty: true},
+		},
+	}
+	cfg.Workers = 1
+	serial, err := AdaptiveCoding(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = manyWorkers()
+	parallel, err := AdaptiveCoding(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, serial, parallel, serial.Render(), parallel.Render())
+}

@@ -3,6 +3,7 @@ package link
 import (
 	"bytes"
 	"context"
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -298,5 +299,41 @@ func TestSendValidation(t *testing.T) {
 	cancel()
 	if _, err := tr.Send(ctx, []byte{1}); err == nil {
 		t.Fatal("cancelled context ignored")
+	}
+}
+
+// roundLimitedCtx reports cancellation after a fixed number of Err calls,
+// landing mid-frame to exercise the per-round check inside attempt.
+type roundLimitedCtx struct {
+	context.Context
+	calls int
+}
+
+func (c *roundLimitedCtx) Err() error {
+	c.calls--
+	if c.calls < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestSendCancelsMidFrame(t *testing.T) {
+	sys, env := linkTestbed(t, 6)
+	cc, _ := NewCodingController(0)
+	tr := NewTransferer(sys, env, DefaultPolicy(), cc, 1)
+	// Two Err calls pass (the outer-loop check plus the first round), then
+	// the context reads as cancelled while the first frame still has rounds
+	// to go. Send must stop inside the frame, not finish it.
+	ctx := &roundLimitedCtx{Context: context.Background(), calls: 2}
+	payload := make([]byte, 64)
+	st, err := tr.Send(ctx, payload)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Delivered {
+		t.Fatal("cancelled transfer reported delivered")
+	}
+	if st.Rounds != 1 {
+		t.Fatalf("sent %d rounds after cancellation mid-frame, want exactly 1", st.Rounds)
 	}
 }

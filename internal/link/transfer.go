@@ -184,7 +184,7 @@ func (t *Transferer) Send(ctx context.Context, payload []byte) (*Stats, error) {
 			pending = append(splitRanges([]segment{seg}, lvl.SegBytes), pending[1:]...)
 			continue
 		}
-		outcome, err := t.attempt(payload, seg, lvl, rx, st)
+		outcome, err := t.attempt(ctx, payload, seg, lvl, rx, st)
 		if err != nil {
 			st.FinalLevel = t.Controller.Index()
 			return st, err
@@ -230,7 +230,7 @@ func (t *Transferer) Send(ctx context.Context, payload []byte) (*Stats, error) {
 
 // attempt sends one segment as one coded frame over however many query
 // rounds its bits need, then decodes the client's view.
-func (t *Transferer) attempt(payload []byte, seg segment, lvl Level, rx *Reassembler, st *Stats) (attemptOutcome, error) {
+func (t *Transferer) attempt(ctx context.Context, payload []byte, seg segment, lvl Level, rx *Reassembler, st *Stats) (attemptOutcome, error) {
 	bits, err := lvl.Codec.Encode(buildFrame(payload, seg))
 	if err != nil {
 		return attemptFrameError, err
@@ -242,6 +242,12 @@ func (t *Transferer) attempt(payload []byte, seg segment, lvl Level, rx *Reassem
 		end := off + dataLen
 		if end > len(bits) {
 			end = len(bits)
+		}
+		// Large frames span many query rounds; checking only at segment
+		// granularity would let a cancelled transfer burn a whole frame's
+		// worth of airtime before noticing.
+		if err := ctx.Err(); err != nil {
+			return attemptFrameError, err
 		}
 		if t.Env != nil {
 			t.Env.Advance(t.StepS)

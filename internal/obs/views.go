@@ -89,6 +89,55 @@ func NewFaultMetrics(r *Registry) *FaultMetrics {
 	}
 }
 
+// CodingMetrics instruments the coding-package transferers (fountain and
+// adaptive RS).
+type CodingMetrics struct {
+	TransfersStarted   *Counter
+	TransfersDelivered *Counter
+	TransfersFailed    *Counter
+	FramesSent         *Counter // symbol/shard frames put on the air
+	SymbolsSent        *Counter // fountain encoded symbols
+	ShardsSent         *Counter // RS data+parity shards
+	FrameErasures      *Counter // frames erased by missed trigger / lost BA
+	FrameErrors        *Counter // frames lost to CRC/decode failure
+	DecodeAttempts     *Counter // peeling passes / RS reconstructions
+	ParityResizes      *Counter // GuardRider parity re-sizing events
+}
+
+// NewCodingMetrics registers the coding namespace on r.
+func NewCodingMetrics(r *Registry) *CodingMetrics {
+	return &CodingMetrics{
+		TransfersStarted:   r.Counter("coding.transfers_started"),
+		TransfersDelivered: r.Counter("coding.transfers_delivered"),
+		TransfersFailed:    r.Counter("coding.transfers_failed"),
+		FramesSent:         r.Counter("coding.frames_sent"),
+		SymbolsSent:        r.Counter("coding.symbols_sent"),
+		ShardsSent:         r.Counter("coding.shards_sent"),
+		FrameErasures:      r.Counter("coding.frame_erasures"),
+		FrameErrors:        r.Counter("coding.frame_errors"),
+		DecodeAttempts:     r.Counter("coding.decode_attempts"),
+		ParityResizes:      r.Counter("coding.parity_resizes"),
+	}
+}
+
+// TrafficMetrics instruments traffic.Generator (ambient A-MPDU bursts).
+type TrafficMetrics struct {
+	Rounds        *Counter // rounds a generator masked
+	Bursts        *Counter // ambient bursts drawn
+	SubframesMask *Counter // subframes occupied by ambient traffic
+	StateSwitches *Counter // MMPP state transitions
+}
+
+// NewTrafficMetrics registers the traffic namespace on r.
+func NewTrafficMetrics(r *Registry) *TrafficMetrics {
+	return &TrafficMetrics{
+		Rounds:        r.Counter("traffic.rounds"),
+		Bursts:        r.Counter("traffic.bursts"),
+		SubframesMask: r.Counter("traffic.subframes_masked"),
+		StateSwitches: r.Counter("traffic.state_switches"),
+	}
+}
+
 // RunnerMetrics instruments sim.Runner. Trial wall time is real time, so
 // its histogram is volatile: it shows up on /metrics but is excluded from
 // the deterministic snapshot the worker-count suite compares.
@@ -117,10 +166,12 @@ type Observer struct {
 	Registry *Registry
 	Trace    *Recorder // may be nil: metrics without tracing
 
-	Core   *CoreMetrics
-	Link   *LinkMetrics
-	Fault  *FaultMetrics
-	Runner *RunnerMetrics
+	Core    *CoreMetrics
+	Link    *LinkMetrics
+	Fault   *FaultMetrics
+	Coding  *CodingMetrics
+	Traffic *TrafficMetrics
+	Runner  *RunnerMetrics
 }
 
 // NewObserver wires every instrument view onto reg. trace may be nil.
@@ -134,6 +185,8 @@ func NewObserver(reg *Registry, trace *Recorder) *Observer {
 		Core:     NewCoreMetrics(reg),
 		Link:     NewLinkMetrics(reg),
 		Fault:    NewFaultMetrics(reg),
+		Coding:   NewCodingMetrics(reg),
+		Traffic:  NewTrafficMetrics(reg),
 		Runner:   NewRunnerMetrics(reg),
 	}
 }

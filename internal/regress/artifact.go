@@ -51,6 +51,9 @@ type Provenance struct {
 	Transfers    int    `json:"transfers,omitempty"`
 	Workers      int    `json:"workers,omitempty"` // resolved worker count (informational)
 	FaultProfile string `json:"faultProfile,omitempty"`
+	// Coding-sweep selectors ("all" when the full grid ran).
+	TransferScheme string `json:"transferScheme,omitempty"`
+	TrafficProfile string `json:"trafficProfile,omitempty"`
 }
 
 // String renders the provenance as one report line.

@@ -76,6 +76,9 @@ func (t Trial) Run(ctx context.Context) (RunStats, error) {
 			sys.Faults.Obs = t.Obs
 		}
 	}
+	if sys.Traffic != nil && t.Obs != nil {
+		sys.Traffic.Obs = t.Obs
+	}
 	return MeasureRun(ctx, sys, env, t.Rounds, t.DataSeed)
 }
 

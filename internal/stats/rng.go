@@ -8,7 +8,10 @@
 // entropy.
 package stats
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+)
 
 // NewRNG returns a deterministic pseudo-random source for the given seed.
 // Independent subsystems (channel fading, tag clock jitter, MAC backoff...)
@@ -53,6 +56,29 @@ func Exponential(r *rand.Rand, mean float64) float64 {
 		return 0
 	}
 	return r.ExpFloat64() * mean
+}
+
+// Poisson returns a Poisson-distributed sample with the given mean, via
+// Knuth's product-of-uniforms method. The mean is clamped to 64 — the
+// callers draw per-round arrival counts where the useful range is single
+// digits, and the clamp keeps the draw count (and thus the RNG stream)
+// bounded.
+func Poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		mean = 64
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
 }
 
 // Uniform returns a sample uniformly distributed in [lo, hi).
