@@ -10,8 +10,11 @@
 
 GO ?= go
 FUZZTIME ?= 15s
+BENCHTIME ?= 1s
+# gate writes its candidate artifacts here; empty means a throwaway tmpdir.
+GATEDIR ?=
 
-.PHONY: check fmt vet lint test race bench bench-series gate build cover fuzz fuzzseed determinism
+.PHONY: check fmt vet lint test race bench benchcmp bench-series gate build cover fuzz fuzzseed determinism
 
 check: fmt vet lint race fuzzseed determinism
 
@@ -51,7 +54,24 @@ race:
 # Benchmarks across all packages in benchstat-compatible form, archived to
 # bench.txt so successive runs can be compared (`benchstat old.txt bench.txt`).
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem ./... | tee bench.txt
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | tee bench.txt
+
+# Before/after benchmark comparison: reruns the suite into bench.new.txt
+# and diffs it against the archived bench.txt. Uses benchstat when it is
+# installed (same opt-in policy as lint); otherwise falls back to a plain
+# diff of the benchmark lines.
+benchcmp:
+	@test -f bench.txt || { echo "benchcmp: no bench.txt — run 'make bench' on the old tree first"; exit 1; }
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | tee bench.new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench.txt bench.new.txt; \
+	else \
+		echo "benchcmp: benchstat not installed, falling back to diff"; \
+		grep '^Benchmark' bench.txt >bench.old.flat; \
+		grep '^Benchmark' bench.new.txt >bench.new.flat; \
+		diff bench.old.flat bench.new.flat || true; \
+		rm -f bench.old.flat bench.new.flat; \
+	fi
 
 # Regenerate the committed baseline series under bench/: every
 # experiment's BENCH_<name>.json (plus its metrics delta) at default
@@ -64,11 +84,14 @@ bench-series:
 # the result against the committed bench/ baselines (DESIGN.md §12).
 # Deterministic metrics must match exactly and science series must stay
 # inside the statistical tolerance band; wall-clock budget is off (-budget
-# 0) because the committed baselines were timed on a different machine.
+# 0) because the committed baselines were timed on a different machine —
+# the PROF profiles are still structure-checked (every phase must keep
+# firing). Set GATEDIR to keep the candidate artifacts (CI uploads them).
 gate:
-	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
-	$(GO) run ./cmd/witag-bench -experiment all -json "$$tmp" >/dev/null && \
-	$(GO) run ./cmd/witag-gate -baseline bench -candidate "$$tmp" -budget 0
+	@out='$(GATEDIR)'; \
+	if [ -z "$$out" ]; then out=$$(mktemp -d) && trap 'rm -rf "$$out"' EXIT; fi && \
+	$(GO) run ./cmd/witag-bench -experiment all -json "$$out" >/dev/null && \
+	$(GO) run ./cmd/witag-gate -baseline bench -candidate "$$out" -budget 0
 
 # Whole-repo coverage profile plus the one-line total.
 cover:

@@ -8,8 +8,8 @@
 //	            [-seed N] [-runs N] [-rounds N] [-parallel N] [-json DIR]
 //	            [-fault PROFILE] [-transfers N]
 //	            [-transfer all|arq|fountain|rs] [-traffic all|PROFILE]
-//	            [-metrics-addr HOST:PORT] [-trace FILE] [-trace-out DIR]
-//	            [-trace-cap N] [-progress]
+//	            [-profile DIR] [-metrics-addr HOST:PORT] [-trace FILE]
+//	            [-trace-out DIR] [-trace-cap N] [-progress]
 //
 // Scale note: "-rounds" stands in for the paper's one-minute measurement
 // windows; the defaults keep the full suite under a minute of wall time.
@@ -23,7 +23,14 @@
 // machine-readable BENCH_<name>.json under DIR, so successive runs (and
 // future PRs) can diff trajectories instead of parsing tables — plus a
 // BENCH_<name>.metrics.json holding the experiment's metrics-registry
-// delta (rounds, subframe verdicts, faults injected, ARQ activity).
+// delta (rounds, subframe verdicts, faults injected, ARQ activity) and a
+// PROF_<name>.json phase-attribution profile (per-phase span quantiles,
+// wall-time shares, allocations per trial) the gate budgets against.
+//
+// With -profile DIR, every experiment is additionally wrapped in pprof
+// capture: cpu_<name>.pprof across the run, then heap_<name>.pprof and
+// allocs_<name>.pprof after a forced GC — ready for `go tool pprof` —
+// and the phase-attribution table is printed to stderr.
 //
 // Observability (all opt-in, none changes any result byte):
 //
@@ -49,6 +56,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -56,6 +64,7 @@ import (
 	"witag/internal/experiments"
 	"witag/internal/fault"
 	"witag/internal/obs"
+	"witag/internal/perf"
 	"witag/internal/regress"
 	"witag/internal/sim"
 	"witag/internal/traffic"
@@ -84,6 +93,7 @@ type benchConfig struct {
 	transfers  int
 	transfer   string
 	trafficSel string
+	profileDir string
 
 	metricsAddr string
 	tracePath   string
@@ -104,6 +114,7 @@ func main() {
 	flag.IntVar(&cfg.transfers, "transfers", 100, "transfers per sweep point per mode (robustness)")
 	flag.StringVar(&cfg.transfer, "transfer", "all", "transfer scheme for the coding sweep: all, "+strings.Join(experiments.CodingSchemes, ", "))
 	flag.StringVar(&cfg.trafficSel, "traffic", "all", "ambient-traffic profile for the coding sweep: all (the full profile grid), "+strings.Join(traffic.Names(), ", "))
+	flag.StringVar(&cfg.profileDir, "profile", "", "write cpu/heap/allocs pprof profiles per experiment under this directory (empty: off)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run (empty: off)")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write per-round/per-transfer trace events as JSONL to this file (empty: off)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write one TRACE_<name>.jsonl per experiment under this directory (empty: off)")
@@ -118,6 +129,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "witag-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMemProfiles snapshots heap_<name>.pprof and allocs_<name>.pprof
+// under dir after a forced GC, so the heap numbers reflect live data, not
+// whatever the collector hadn't reached yet.
+func writeMemProfiles(dir, name string) error {
+	runtime.GC()
+	for _, kind := range []string{"heap", "allocs"} {
+		p := pprof.Lookup(kind)
+		if p == nil {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, kind+"_"+name+".pprof"))
+		if err != nil {
+			return err
+		}
+		if err := p.WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // gitSHA resolves the tree the artifacts were built from, for the
@@ -178,6 +214,13 @@ func run(ctx context.Context, cfg benchConfig) error {
 	if cfg.tracePath != "" && cfg.traceOut != "" {
 		return fmt.Errorf("-trace and -trace-out are exclusive: one ring for the whole run, or one per experiment")
 	}
+	// Same contract for output paths: an unwritable -profile directory must
+	// fail now, not after minutes of sweeping.
+	if cfg.profileDir != "" {
+		if err := os.MkdirAll(cfg.profileDir, 0o755); err != nil {
+			return fmt.Errorf("-profile: %w", err)
+		}
+	}
 
 	// Observability wiring: one registry + optional trace ring for the
 	// whole run, installed as the experiments-package observer so every
@@ -203,6 +246,10 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if err != nil {
 			return err
 		}
+		// Tear the listener down on Ctrl-C too, not only on return — Close
+		// is idempotent, so the AfterFunc and the defer can race safely.
+		unhook := context.AfterFunc(ctx, func() { srv.Close() })
+		defer unhook()
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
 	}
@@ -228,24 +275,46 @@ func run(ctx context.Context, cfg benchConfig) error {
 
 	// emit writes an experiment's series plus the metrics-registry delta
 	// accumulated since the previous experiment finished, both wrapped in
-	// a provenance envelope naming what produced them. The trial count is
+	// a provenance envelope naming what produced them, plus the delta's
+	// phase-attribution profile as PROF_<name>.json. The trial count is
 	// the runner's own tally for this experiment, read from the delta.
 	lastSnap := reg.Snapshot()
 	runProv := provenance(cfg)
 	emit := func(name string, v any) error {
-		if cfg.jsonDir == "" {
-			return nil
-		}
 		now := reg.Snapshot()
 		delta := now.Delta(lastSnap)
 		lastSnap = now
+		rep := perf.FromSnapshot(delta)
+		if cfg.profileDir != "" && rep.Trials > 0 {
+			fmt.Fprintf(os.Stderr, "perf %s:\n%s", name, rep.Render())
+		}
+		// Low coverage on a span-bearing experiment means untimed work
+		// crept into the trials. Analytic experiments (fig3, s41, compare)
+		// record no spans at all and stay quiet — losing instrumentation
+		// entirely is the gate's structural check, not this warning.
+		spansFired := false
+		for _, ps := range rep.Phases {
+			if ps.Count > 0 {
+				spansFired = true
+				break
+			}
+		}
+		if spansFired && rep.Trials > 0 && rep.Coverage < 0.9 {
+			fmt.Fprintf(os.Stderr, "perf: %s: spans attribute only %.1f%% of trial wall time\n", name, 100*rep.Coverage)
+		}
+		if cfg.jsonDir == "" {
+			return nil
+		}
 		prov := runProv
 		prov.Experiment = name
 		prov.Trials = delta.Counters["runner.trials_started"]
 		if err := regress.WriteSeries(cfg.jsonDir, name, prov, v); err != nil {
 			return err
 		}
-		return regress.WriteMetrics(cfg.jsonDir, name, prov, delta)
+		if err := regress.WriteMetrics(cfg.jsonDir, name, prov, delta); err != nil {
+			return err
+		}
+		return regress.WriteProf(cfg.jsonDir, name, prov, rep)
 	}
 
 	all := cfg.experiment == "all"
@@ -266,7 +335,30 @@ func run(ctx context.Context, cfg benchConfig) error {
 			o = obs.NewObserver(reg, rec)
 		}
 		prev := experiments.SetObserver(o)
+		var cpuFile *os.File
+		if cfg.profileDir != "" {
+			var perr error
+			cpuFile, perr = os.Create(filepath.Join(cfg.profileDir, "cpu_"+name+".pprof"))
+			if perr != nil {
+				experiments.SetObserver(prev)
+				return perr
+			}
+			if perr := pprof.StartCPUProfile(cpuFile); perr != nil {
+				cpuFile.Close()
+				experiments.SetObserver(prev)
+				return perr
+			}
+		}
 		err := fn(sim.Runner{Workers: parallel, Obs: o, Progress: progress})
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if cerr := cpuFile.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+			if perr := writeMemProfiles(cfg.profileDir, name); err == nil && perr != nil {
+				err = perr
+			}
+		}
 		experiments.SetObserver(prev)
 		if err != nil {
 			return err

@@ -26,6 +26,9 @@
 //	                      ring (-trace-cap events), written as JSONL on
 //	                      exit; the "round" event count equals runs×rounds
 //	-progress             live runs/sec and ETA on stderr
+//	-cpuprofile cpu.pprof capture a CPU profile of the whole campaign
+//	-memprofile mem.pprof capture an allocation profile (post-GC heap plus
+//	                      cumulative allocs) at campaign end
 package main
 
 import (
@@ -35,6 +38,8 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -73,6 +78,8 @@ func main() {
 		tracePath   = flag.String("trace", "", "write per-round trace events as JSONL to this file (empty: off)")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "trace ring capacity in events; oldest events are dropped beyond it")
 		progress    = flag.Bool("progress", false, "live run progress (rate, ETA) on stderr")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (empty: off)")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile at campaign end to this file (empty: off)")
 	)
 	flag.Parse()
 
@@ -84,7 +91,8 @@ func main() {
 		cipherStr: *cipherFlag, faultStr: *faultFlag, trafficStr: *trafficFlag,
 		xferStr: *xferFlag, payloadLen: *payloadLen, gain: *gain, tempC: *tempC,
 	}
-	ocfg := obsConfig{metricsAddr: *metricsAddr, tracePath: *tracePath, traceCap: *traceCap, progress: *progress}
+	ocfg := obsConfig{metricsAddr: *metricsAddr, tracePath: *tracePath, traceCap: *traceCap, progress: *progress,
+		cpuProfile: *cpuProfile, memProfile: *memProfile}
 	if err := run(ctx, cfg, ocfg, *rounds, *runs, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "witag-sim:", err)
 		os.Exit(1)
@@ -97,6 +105,8 @@ type obsConfig struct {
 	tracePath   string
 	traceCap    int
 	progress    bool
+	cpuProfile  string
+	memProfile  string
 }
 
 // deployment is the flag-specified scenario, buildable once per run.
@@ -229,6 +239,38 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 		return fmt.Errorf("payload %d bytes outside [1,%d]", cfg.payloadLen, link.MaxTransfer)
 	}
 
+	// Same contract for profile paths: an unwritable -cpuprofile or
+	// -memprofile must fail now, never after minutes of simulation.
+	if ocfg.cpuProfile != "" {
+		f, err := os.Create(ocfg.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if ocfg.memProfile != "" {
+		f, err := os.Create(ocfg.memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			// Settle the heap first so in-use numbers reflect live data;
+			// the allocs profile also carries cumulative allocation sites.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "witag-sim: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+
 	// Observability wiring: metrics registry plus optional trace ring,
 	// attached to every run's system at build time. Attaching draws no
 	// RNG values, so the measurements below are byte-identical with or
@@ -249,6 +291,11 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 		if err != nil {
 			return err
 		}
+		// Close on signal as well as on return: a ^C mid-campaign must
+		// release the listener promptly, not only once run() unwinds.
+		// Server.Close is idempotent, so the two paths race safely.
+		unhook := context.AfterFunc(ctx, func() { srv.Close() })
+		defer unhook()
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
 	}

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
+	"witag/internal/obs"
 	"witag/internal/stats"
 )
 
@@ -52,6 +53,12 @@ type Environment struct {
 	Reflectors     []Reflector
 	Scatterers     []Scatterer
 
+	// Spans, when non-nil, attributes Advance's scatterer walk to the
+	// channel phase. Channel itself is not self-instrumented: callers
+	// (core.System.QueryRound) wrap it in their own channel span, and
+	// double-counting one evaluation would inflate attribution.
+	Spans *obs.Spans
+
 	rng *rand.Rand
 }
 
@@ -95,6 +102,8 @@ func (e *Environment) AddScatterers(n int, x0, y0, x1, y1, gain, speedMps float6
 // it between query rounds models people moving while the channel stays
 // frozen within each (few-ms) A-MPDU — the coherence-time argument of §5.
 func (e *Environment) Advance(dt float64) {
+	sp := e.Spans.Start()
+	defer e.Spans.End(obs.PhaseChannel, sp)
 	for i := range e.Scatterers {
 		s := &e.Scatterers[i]
 		theta := stats.Uniform(e.rng, 0, 2*math.Pi)

@@ -95,13 +95,24 @@ type sender struct {
 	consecErased int
 }
 
+// spans returns the sender's phase timers (nil when detached).
+func (s *sender) spans() *obs.Spans {
+	if s.o != nil {
+		return s.o.Spans
+	}
+	return nil
+}
+
 // send pushes one frame and classifies the outcome; on frameOK the
 // decoded frame payload is returned.
 func (s *sender) send(fp []byte, st *Stats) ([]byte, frameOutcome, error) {
+	spans := s.spans()
+	sp := spans.Start()
 	bits, err := s.codec.Encode(fp)
 	if err != nil {
 		return nil, frameError, err
 	}
+	spans.End(obs.PhaseCodingEncode, sp)
 	st.FramesSent++
 	dataLen := s.sys.Spec.DataLen
 	rxBits := make([]byte, 0, len(bits))
@@ -117,17 +128,22 @@ func (s *sender) send(fp []byte, st *Stats) ([]byte, frameOutcome, error) {
 		if err != nil {
 			return nil, frameError, err
 		}
+		sp = spans.Start()
 		st.Rounds++
 		st.Airtime += res.Airtime
 		if res.BALost || !res.Detected {
 			st.FrameErasures++
 			s.backoff(st)
+			spans.End(obs.PhaseARQRound, sp)
 			return nil, frameErased, nil
 		}
 		rxBits = append(rxBits, res.RxBits[:end-off]...)
+		spans.End(obs.PhaseARQRound, sp)
 	}
 	s.consecErased = 0
+	sp = spans.Start()
 	got, _, derr := s.codec.Decode(rxBits)
+	spans.End(obs.PhaseCodingDecode, sp)
 	if derr != nil {
 		st.FrameErrors++
 		return nil, frameError, nil
@@ -260,6 +276,9 @@ func (t *FountainTransferer) Send(ctx context.Context, payload []byte) (*Stats, 
 	snd := &sender{sys: t.Sys, env: t.Env, stepS: t.StepS, codec: cfg.Codec, bo: cfg.Backoff,
 		rng: t.rng, o: t.Obs, traceID: t.TraceID, traceLabels: t.TraceLabels}
 	if o := t.Obs; o != nil {
+		if t.Env != nil {
+			t.Env.Spans = o.Spans
+		}
 		o.Coding.TransfersStarted.Inc()
 	}
 	defer snd.finish("fountain", st)
@@ -273,10 +292,12 @@ func (t *FountainTransferer) Send(ctx context.Context, payload []byte) (*Stats, 
 		if err := ctx.Err(); err != nil {
 			return st, err
 		}
+		sp := snd.spans().Start()
 		sym, err := f.Symbol(payload, id)
 		if err != nil {
 			return st, err
 		}
+		snd.spans().End(obs.PhaseCodingEncode, sp)
 		fp := make([]byte, 0, fountainHeader+len(sym))
 		fp = append(fp, byte(id>>8), byte(id))
 		fp = append(fp, sym...)
@@ -303,7 +324,10 @@ func (t *FountainTransferer) Send(ctx context.Context, payload []byte) (*Stats, 
 			continue
 		}
 		rxID := int(got[0])<<8 | int(got[1])
-		if _, err := dec.Add(rxID, got[fountainHeader:]); err != nil {
+		sp = snd.spans().Start()
+		_, addErr := dec.Add(rxID, got[fountainHeader:])
+		snd.spans().End(obs.PhaseCodingDecode, sp)
+		if addErr != nil {
 			st.FrameErrors++
 			snd.trace("symbol", id, "frame_error")
 			continue
@@ -485,6 +509,9 @@ func (t *RSTransferer) Send(ctx context.Context, payload []byte) (*Stats, error)
 	snd := &sender{sys: t.Sys, env: t.Env, stepS: t.StepS, codec: cfg.Codec, bo: cfg.Backoff,
 		rng: t.rng, o: t.Obs, traceID: t.TraceID, traceLabels: t.TraceLabels}
 	if o := t.Obs; o != nil {
+		if t.Env != nil {
+			t.Env.Spans = o.Spans
+		}
 		o.Coding.TransfersStarted.Inc()
 	}
 	defer snd.finish("rs", st)
@@ -521,10 +548,12 @@ func (t *RSTransferer) Send(ctx context.Context, payload []byte) (*Stats, error)
 		if err != nil {
 			return st, err
 		}
+		sp := snd.spans().Start()
 		parity, err := rs.Parity(data)
 		if err != nil {
 			return st, err
 		}
+		snd.spans().End(obs.PhaseCodingEncode, sp)
 		// First wave: data shards plus a parity budget sized from the
 		// windowed erasure rate.
 		m0 := t.parityFor(k, t.window.Rate(cfg.PriorLoss))
@@ -591,9 +620,11 @@ func (t *RSTransferer) Send(ctx context.Context, payload []byte) (*Stats, error)
 				if o := t.Obs; o != nil {
 					o.Coding.DecodeAttempts.Inc()
 				}
+				sp := snd.spans().Start()
 				if err := rs.Reconstruct(rx); err != nil {
 					return st, err
 				}
+				snd.spans().End(obs.PhaseCodingDecode, sp)
 				for i := 0; i < k; i++ {
 					start := at + i*cfg.ShardBytes
 					end := start + cfg.ShardBytes

@@ -177,6 +177,18 @@ func (r *RoundResult) BER() float64 {
 // the bitmap. bits must have length ≤ Spec.DataLen; missing bits are
 // padded with 1 (tag idle).
 func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
+	// Phase-attribution spans (DESIGN.md §14). The round is carved into
+	// contiguous, non-overlapping regions so phase totals sum to ~the whole
+	// round: encode → channel → equalise → channel → viterbi → crc. Spans
+	// are passive wall-clock reads into volatile histograms — no RNG draws,
+	// no branches into the simulation — and error paths simply drop the
+	// open span (the trial aborts anyway).
+	var spans *obs.Spans
+	if o := s.Obs; o != nil {
+		spans = o.Spans
+		s.Env.Spans = spans
+	}
+	sp := spans.Start()
 	if err := s.Spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -205,6 +217,8 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	spans.End(obs.PhaseEncode, sp)
+	sp = spans.Start()
 
 	// --- Tag side: trigger detection. The tag's run-length measurement
 	// spans all trigger subframes, so its per-subframe estimate is the
@@ -251,11 +265,15 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 		return nil, err
 	}
 	snr := channel.SNRLinear(s.Env.TxPowerDbm, channel.MeanPower(hRest), s.Env.NoiseFloorDbm)
+	spans.End(obs.PhaseChannel, sp)
+	sp = spans.Start()
 	distortion, err := phy.DistortionAfterCPE(hFlip, hRest)
 	if err != nil {
 		return nil, err
 	}
 	dirtySINR := phy.EffectiveSINR(snr, distortion)
+	spans.End(obs.PhaseEqualise, sp)
+	sp = spans.Start()
 
 	// --- Per-subframe corruption coverage. ---
 	coverage := make([]float64, s.Spec.DataLen)
@@ -277,6 +295,8 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 	if s.Traffic != nil {
 		ambient = s.Traffic.RoundMask(s.Spec.Total())
 	}
+	spans.End(obs.PhaseChannel, sp)
+	sp = spans.Start()
 
 	// --- AP side: per-subframe decode, scoreboard, block ACK. ---
 	sb, err := mac.NewScoreboard(startSeq)
@@ -315,6 +335,8 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 			subLost++
 		}
 	}
+	spans.End(obs.PhaseViterbi, sp)
+	sp = spans.Start()
 	ba := sb.BlockAck(s.Scheduler.Src, s.Scheduler.Dst, 0)
 	if s.Faults != nil && s.Faults.BALost() {
 		baLost = true
@@ -360,6 +382,7 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 	}
 	res.Airtime = access + ppdu + dot11.SIFS + baAir
 	s.Contender.Success()
+	spans.End(obs.PhaseCRC, sp)
 
 	// Observability flush: passive counters and one trace event per round,
 	// all derived from values already computed — zero RNG draws, zero

@@ -135,6 +135,11 @@ func (t *Transferer) Send(ctx context.Context, payload []byte) (*Stats, error) {
 	}
 	st := &Stats{PayloadBytes: len(payload)}
 	if o := t.Obs; o != nil {
+		if t.Env != nil {
+			// Attribute the pre-round Advance calls in attempt to the
+			// channel phase.
+			t.Env.Spans = o.Spans
+		}
 		o.Link.TransfersStarted.Inc()
 		// Flush the transfer's totals on every exit path — including
 		// cancellation — so live /metrics and the trace agree with the
@@ -202,9 +207,11 @@ func (t *Transferer) Send(ctx context.Context, payload []byte) (*Stats, error) {
 		st.Retries++
 		if outcome == attemptRoundErased {
 			consecErased++
+			sp := t.spans().Start()
 			wait := t.backoff(consecErased)
 			st.BackoffWait += wait
 			st.Airtime += wait
+			t.spans().End(obs.PhaseARQRound, sp)
 			if o := t.Obs; o != nil {
 				o.Link.BackoffWaits.Inc()
 				o.Link.BackoffWait.Observe(wait.Microseconds())
@@ -231,10 +238,13 @@ func (t *Transferer) Send(ctx context.Context, payload []byte) (*Stats, error) {
 // attempt sends one segment as one coded frame over however many query
 // rounds its bits need, then decodes the client's view.
 func (t *Transferer) attempt(ctx context.Context, payload []byte, seg segment, lvl Level, rx *Reassembler, st *Stats) (attemptOutcome, error) {
+	spans := t.spans()
+	sp := spans.Start()
 	bits, err := lvl.Codec.Encode(buildFrame(payload, seg))
 	if err != nil {
 		return attemptFrameError, err
 	}
+	spans.End(obs.PhaseCodingEncode, sp)
 	st.FramesSent++
 	dataLen := t.Sys.Spec.DataLen
 	rxBits := make([]byte, 0, len(bits))
@@ -256,6 +266,7 @@ func (t *Transferer) attempt(ctx context.Context, payload []byte, seg segment, l
 		if err != nil {
 			return attemptFrameError, err
 		}
+		sp = spans.Start()
 		st.Rounds++
 		st.Airtime += res.Airtime
 		// A lost block ACK is directly observable (nothing arrived before
@@ -267,11 +278,15 @@ func (t *Transferer) attempt(ctx context.Context, payload []byte, seg segment, l
 		if res.BALost || !res.Detected {
 			st.RoundFailures++
 			t.traceSegment(seg, "erased")
+			spans.End(obs.PhaseARQRound, sp)
 			return attemptRoundErased, nil
 		}
 		rxBits = append(rxBits, res.RxBits[:end-off]...)
+		spans.End(obs.PhaseARQRound, sp)
 	}
+	sp = spans.Start()
 	got, corrected, derr := lvl.Codec.Decode(rxBits)
+	spans.End(obs.PhaseCodingDecode, sp)
 	if derr != nil {
 		if core.DesyncError(derr) {
 			st.DesyncErrors++
@@ -298,6 +313,14 @@ func (t *Transferer) attempt(ctx context.Context, payload []byte, seg segment, l
 	t.observeVerdict(true)
 	t.traceSegment(seg, "ok")
 	return attemptOK, nil
+}
+
+// spans returns the observer's phase timers (nil when detached).
+func (t *Transferer) spans() *obs.Spans {
+	if o := t.Obs; o != nil {
+		return o.Spans
+	}
+	return nil
 }
 
 // observeVerdict feeds the coding controller and counts the ladder moves

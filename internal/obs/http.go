@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -61,6 +62,9 @@ type Server struct {
 	Addr net.Addr
 	srv  *http.Server
 	done chan error
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Serve binds addr and serves reg's endpoints in a background goroutine.
@@ -85,13 +89,19 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 }
 
 // Close stops the listener and waits for the serve goroutine to exit.
+// It is idempotent and safe to race — CLIs hook it on both context
+// cancellation and a defer, and whichever fires second gets the same
+// result without blocking on the drained done channel.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	err := s.srv.Close()
-	if serveErr := <-s.done; err == nil {
-		err = serveErr
-	}
-	return err
+	s.closeOnce.Do(func() {
+		err := s.srv.Close()
+		if serveErr := <-s.done; err == nil {
+			err = serveErr
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
 }

@@ -1,0 +1,105 @@
+package obs
+
+import "time"
+
+// Phase identifies one stage of the simulated receive/transfer chain for
+// phase-attribution profiling. The enum is fixed and closed: perf reports,
+// PROF artifacts and the witag-gate budgets all key on these names, so a
+// new phase is a schema change, not a registration.
+type Phase uint8
+
+const (
+	PhaseEncode       Phase = iota // query build, frame marshal, airtime plan
+	PhaseChannel                   // trigger detection, reflections, channel + fault/traffic draws
+	PhaseEqualise                  // CPE distortion and effective-SINR computation
+	PhaseDeinterleave              // bit-true deinterleaving (phy.Receive only)
+	PhaseViterbi                   // subframe decode verdicts (analytic or bit-true Viterbi)
+	PhaseCRC                       // block-ACK verdict, bit-error count, airtime accounting
+	PhaseARQRound                  // transfer-loop round bookkeeping outside QueryRound
+	PhaseCodingEncode              // codec/erasure encode (ARQ ladder, fountain, RS parity)
+	PhaseCodingDecode              // codec/erasure decode and reconstruction
+
+	// NumPhases bounds the enum; it is not a phase.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"encode",
+	"channel",
+	"equalise",
+	"deinterleave",
+	"viterbi",
+	"crc",
+	"arq_round",
+	"coding_encode",
+	"coding_decode",
+}
+
+// String returns the phase's wire name ("encode", "viterbi", …).
+func (p Phase) String() string {
+	if p >= NumPhases {
+		return "invalid"
+	}
+	return phaseNames[p]
+}
+
+// SpanName returns the registry instrument name for a phase's span
+// histogram, e.g. "span.viterbi_ns".
+func SpanName(p Phase) string { return "span." + p.String() + "_ns" }
+
+// PhaseNames returns the wire names of every phase in enum order.
+func PhaseNames() []string {
+	out := make([]string, NumPhases)
+	copy(out, phaseNames[:])
+	return out
+}
+
+// Spans is the phase-span timer: one volatile integer histogram per phase,
+// recording nanosecond durations. Like every instrument here it is a
+// passive sink — recording a span never draws randomness or branches into
+// the simulation, so science output is byte-identical with spans attached
+// or not (the histograms are Volatile and excluded from the deterministic
+// snapshot view). A nil *Spans disables timing entirely: Start returns the
+// zero time and End is a no-op, so the detached hot-path cost is one
+// pointer test and no clock read.
+type Spans struct {
+	hists [NumPhases]*Histogram
+}
+
+// NewSpans registers the span namespace on r. Bounds double from 256 ns to
+// ~2.1 s, covering sub-µs equalise slices through whole-transfer rounds.
+func NewSpans(r *Registry) *Spans {
+	s := &Spans{}
+	for p := Phase(0); p < NumPhases; p++ {
+		s.hists[p] = r.Histogram(SpanName(p), Exp2Bounds(256, 24), Volatile)
+	}
+	return s
+}
+
+// Start returns the span's start time, or the zero time when s is nil so
+// the matching End is also a no-op.
+func (s *Spans) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End records the elapsed nanoseconds since start under phase p. Nil
+// receivers, zero start times (from a nil Start) and out-of-range phases
+// are ignored.
+func (s *Spans) End(p Phase, start time.Time) {
+	if s == nil || start.IsZero() || p >= NumPhases {
+		return
+	}
+	s.hists[p].Observe(time.Since(start).Nanoseconds())
+}
+
+// Hist returns the histogram backing phase p (nil for a nil receiver or
+// out-of-range phase), for tests and the perf aggregator.
+func (s *Spans) Hist(p Phase) *Histogram {
+	if s == nil || p >= NumPhases {
+		return nil
+	}
+	return s.hists[p]
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhaseNamesAndSpanNames(t *testing.T) {
+	if got := len(PhaseNames()); got != int(NumPhases) {
+		t.Fatalf("PhaseNames returned %d names, want %d", got, NumPhases)
+	}
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		name := p.String()
+		if name == "" || name == "invalid" {
+			t.Fatalf("phase %d has no name", p)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate phase name %q", name)
+		}
+		seen[name] = true
+		if want := "span." + name + "_ns"; SpanName(p) != want {
+			t.Fatalf("SpanName(%s) = %q, want %q", name, SpanName(p), want)
+		}
+	}
+	if NumPhases.String() != "invalid" {
+		t.Fatalf("NumPhases.String() = %q, want invalid", NumPhases.String())
+	}
+}
+
+func TestSpansRecordAndAreVolatile(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSpans(reg)
+
+	start := s.Start()
+	if start.IsZero() {
+		t.Fatal("Start on a live Spans returned the zero time")
+	}
+	s.End(PhaseViterbi, start)
+	s.End(NumPhases, start)      // out of range: ignored
+	s.End(PhaseCRC, time.Time{}) // zero start: ignored
+
+	snap := reg.Snapshot()
+	for p := Phase(0); p < NumPhases; p++ {
+		name := SpanName(p)
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if !snap.Volatile[name] {
+			t.Fatalf("%s is not volatile — wall-clock spans would break the determinism suite", name)
+		}
+		want := int64(0)
+		if p == PhaseViterbi {
+			want = 1
+		}
+		if h.Count != want {
+			t.Fatalf("%s count = %d, want %d", name, h.Count, want)
+		}
+	}
+	if h := snap.Histograms[SpanName(PhaseViterbi)]; h.Sum < 0 {
+		t.Fatalf("negative span duration %d", h.Sum)
+	}
+
+	// The deterministic view must drop every span histogram.
+	det := reg.Snapshot().Deterministic()
+	for p := Phase(0); p < NumPhases; p++ {
+		if _, ok := det.Histograms[SpanName(p)]; ok {
+			t.Fatalf("%s leaked into the deterministic view", SpanName(p))
+		}
+	}
+}
+
+func TestSpansNilSafety(t *testing.T) {
+	var s *Spans
+	start := s.Start()
+	if !start.IsZero() {
+		t.Fatal("nil Spans.Start must return the zero time (no clock read)")
+	}
+	s.End(PhaseEncode, start)      // no-op, must not panic
+	s.End(PhaseEncode, time.Now()) // even with a live start
+	if s.Hist(PhaseEncode) != nil {
+		t.Fatal("nil Spans.Hist must return nil")
+	}
+}
+
+// allocSink forces the test allocations below to escape to the heap.
+var allocSink [][]byte
+
+func TestReadRuntimeStatsMonotonic(t *testing.T) {
+	before := ReadRuntimeStats()
+	for i := 0; i < 64; i++ {
+		allocSink = append(allocSink, make([]byte, 1024))
+	}
+	allocSink = nil
+	after := ReadRuntimeStats()
+	d := after.Sub(before)
+	if d.AllocBytes == 0 || d.AllocObjects == 0 {
+		t.Fatalf("runtime delta saw no allocations: %+v", d)
+	}
+}

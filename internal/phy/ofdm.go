@@ -7,6 +7,7 @@ import (
 
 	"witag/internal/bitio"
 	"witag/internal/dot11"
+	"witag/internal/obs"
 )
 
 // Config selects the transmission parameters of a PPDU's data portion.
@@ -245,6 +246,9 @@ type Received struct {
 	Config   Config
 	Layout   *Layout
 	NoiseVar float64
+	// Spans, when non-nil, attributes Receive's equalise / deinterleave /
+	// viterbi / descramble stages to their phases (DESIGN.md §14).
+	Spans *obs.Spans
 }
 
 // ApplyChannel passes a waveform through a (possibly time-varying) channel

@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 
 	"witag/internal/bitio"
+	"witag/internal/obs"
 )
 
 // CSI is the receiver's per-used-subcarrier channel estimate, measured once
@@ -81,30 +82,12 @@ func Receive(rx *Received, csi *CSI, soft bool) (*ReceiveResult, error) {
 	}
 
 	res := &ReceiveResult{}
+	spans := rx.Spans
 	var hardStream []byte
 	var softStream []float64
 	for s, sym := range rx.Symbols {
-		// Equalise with the (stale, if the tag struck) preamble CSI.
-		eq := make([]complex128, len(sym))
-		for k, v := range sym {
-			g := csi.Gains[k]
-			if g == 0 {
-				g = 1e-12
-			}
-			eq[k] = v / g
-		}
-		// Common phase error from pilots.
-		pol := pilotPolarity(s)
-		var acc complex128
-		for _, pidx := range layout.PilotIdx {
-			acc += eq[pidx] * complex(pol, 0)
-		}
-		if acc != 0 {
-			cpe := cmplx.Exp(complex(0, -cmplx.Phase(acc)))
-			for k := range eq {
-				eq[k] *= cpe
-			}
-		}
+		sp := spans.Start()
+		eq := equaliseSymbol(sym, csi.Gains, layout.PilotIdx, pilotPolarity(s))
 		// Demap data subcarriers.
 		blockHard := make([]byte, 0, ncbps)
 		blockSoft := make([]float64, 0, ncbps)
@@ -129,7 +112,9 @@ func Receive(rx *Received, csi *CSI, soft bool) (*ReceiveResult, error) {
 			return nil, err
 		}
 		res.SymbolEVM = append(res.SymbolEVM, evm)
+		spans.End(obs.PhaseEqualise, sp)
 
+		sp = spans.Start()
 		deHard, err := il.Deinterleave(blockHard)
 		if err != nil {
 			return nil, err
@@ -142,8 +127,10 @@ func Receive(rx *Received, csi *CSI, soft bool) (*ReceiveResult, error) {
 			}
 			softStream = append(softStream, deSoft...)
 		}
+		spans.End(obs.PhaseDeinterleave, sp)
 	}
 
+	sp := spans.Start()
 	motherLen := 2 * nsym * ndbps
 	var decoded []byte
 	if soft {
@@ -179,6 +166,8 @@ func Receive(rx *Received, csi *CSI, soft bool) (*ReceiveResult, error) {
 			return nil, err
 		}
 	}
+	spans.End(obs.PhaseViterbi, sp)
+	sp = spans.Start()
 
 	// Diagnostic: re-encode and count pre-Viterbi disagreements.
 	reCoded := ConvEncode(decoded)
@@ -205,5 +194,33 @@ func Receive(rx *Received, csi *CSI, soft bool) (*ReceiveResult, error) {
 	}
 	psduBits := plain[16 : 16+8*rx.PSDULen]
 	res.PSDU = bitio.BitsToBytes(psduBits)
+	spans.End(obs.PhaseCRC, sp)
 	return res, nil
+}
+
+// equaliseSymbol divides one received OFDM symbol by the preamble CSI and
+// removes the pilot-tracked common phase error, returning the equalised
+// subcarriers. pol is the symbol's pilot polarity. This is the receiver's
+// per-symbol equalisation stage, split out so the decode-path benchmarks
+// can time it in isolation.
+func equaliseSymbol(sym, gains []complex128, pilotIdx []int, pol float64) []complex128 {
+	eq := make([]complex128, len(sym))
+	for k, v := range sym {
+		g := gains[k]
+		if g == 0 {
+			g = 1e-12
+		}
+		eq[k] = v / g
+	}
+	var acc complex128
+	for _, pidx := range pilotIdx {
+		acc += eq[pidx] * complex(pol, 0)
+	}
+	if acc != 0 {
+		cpe := cmplx.Exp(complex(0, -cmplx.Phase(acc)))
+		for k := range eq {
+			eq[k] *= cpe
+		}
+	}
+	return eq
 }

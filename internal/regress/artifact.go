@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"witag/internal/obs"
+	"witag/internal/perf"
 )
 
 // Provenance stamps a bench artifact with exactly what produced it, so a
@@ -102,6 +103,9 @@ type Artifact struct {
 
 	Metrics     *obs.Snapshot // nil when BENCH_<name>.metrics.json is absent
 	MetricsProv *Provenance
+
+	Prof     *perf.Report // nil when PROF_<name>.json is absent
+	ProfProv *Provenance
 }
 
 // WriteSeries writes BENCH_<name>.json under dir as a provenance-stamped
@@ -130,10 +134,10 @@ func writeArtifact(dir, file string, v any) error {
 	return os.WriteFile(filepath.Join(dir, file), append(buf, '\n'), 0o644)
 }
 
-// LoadDir reads every BENCH_<name>.json / BENCH_<name>.metrics.json pair
-// under dir. Artifacts predating the provenance envelope (a bare series or
-// a bare snapshot at top level) still load, with nil provenance, so old
-// baselines remain comparable.
+// LoadDir reads every BENCH_<name>.json / BENCH_<name>.metrics.json /
+// PROF_<name>.json group under dir. Artifacts predating the provenance
+// envelope (a bare series or a bare snapshot at top level) still load,
+// with nil provenance, so old baselines remain comparable.
 func LoadDir(dir string) (map[string]*Artifact, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -150,7 +154,10 @@ func LoadDir(dir string) (map[string]*Artifact, error) {
 	}
 	for _, e := range entries {
 		fn := e.Name()
-		if e.IsDir() || !strings.HasPrefix(fn, "BENCH_") || !strings.HasSuffix(fn, ".json") {
+		if e.IsDir() || !strings.HasSuffix(fn, ".json") {
+			continue
+		}
+		if !strings.HasPrefix(fn, "BENCH_") && !strings.HasPrefix(fn, "PROF_") {
 			continue
 		}
 		buf, err := os.ReadFile(filepath.Join(dir, fn))
@@ -158,6 +165,15 @@ func LoadDir(dir string) (map[string]*Artifact, error) {
 			return nil, err
 		}
 		switch {
+		case strings.HasPrefix(fn, "PROF_"):
+			name := strings.TrimSuffix(strings.TrimPrefix(fn, "PROF_"), ".json")
+			a := get(name)
+			prof, prov, err := loadProf(buf, fn)
+			if err != nil {
+				return nil, err
+			}
+			a.Prof = prof
+			a.ProfProv = prov
 		case strings.HasSuffix(fn, ".metrics.json"):
 			name := strings.TrimSuffix(strings.TrimPrefix(fn, "BENCH_"), ".metrics.json")
 			a := get(name)

@@ -185,6 +185,21 @@ func gateExperiment(name string, b, c *Artifact, opts Options) (*ExperimentRepor
 		er.Perf = ComparePerf(*b.Metrics, *c.Metrics, opts.Budget)
 	}
 
+	// Tier 3b — phase-attribution profiles. A baseline without a PROF
+	// artifact predates the profiling layer: skip silently so old baselines
+	// stay comparable. A candidate missing one that the baseline has means
+	// the profiling pipeline broke — that gates regardless of budget.
+	switch {
+	case b.Prof == nil:
+	case c.Prof == nil:
+		er.MetricDiffs = append(er.MetricDiffs, obs.InstrumentDiff{
+			Kind: "prof", Name: "(profile)", Detail: "PROF artifact missing in candidate"})
+	default:
+		checks, diffs := CompareProf(b.Prof, c.Prof, opts.Budget)
+		er.Perf = append(er.Perf, checks...)
+		er.MetricDiffs = append(er.MetricDiffs, diffs...)
+	}
+
 	for _, p := range er.Points {
 		er.Verdict = Worse(er.Verdict, p.Class)
 	}

@@ -55,15 +55,20 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
+		rtBefore obs.RuntimeStats
 	)
+	if r.Obs != nil {
+		rtBefore = obs.ReadRuntimeStats()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var busy time.Duration
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || ctx.Err() != nil {
-					return
+					break
 				}
 				var start time.Time
 				if r.Obs != nil {
@@ -73,6 +78,7 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 				err := fn(ctx, i)
 				if r.Obs != nil {
 					wall := time.Since(start)
+					busy += wall
 					m := r.Obs.Runner
 					if err != nil {
 						m.TrialsFailed.Inc()
@@ -80,6 +86,7 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 						m.TrialsDone.Inc()
 					}
 					m.TrialWall.Observe(wall.Milliseconds())
+					m.TrialWallUs.Observe(wall.Microseconds())
 					r.Obs.Trace.Record(obs.Event{Kind: "trial", Trial: i, WallMs: wall.Milliseconds()})
 				}
 				if err != nil {
@@ -87,13 +94,25 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 						firstErr = err
 						cancel()
 					})
-					return
+					break
 				}
 				r.Progress.Done(1)
+			}
+			if r.Obs != nil && busy > 0 {
+				r.Obs.Runner.WorkerBusy.Observe(busy.Milliseconds())
 			}
 		}()
 	}
 	wg.Wait()
+	if r.Obs != nil {
+		// Process-global runtime deltas attributed to this campaign:
+		// accurate because campaigns run sequentially within a process.
+		d := obs.ReadRuntimeStats().Sub(rtBefore)
+		m := r.Obs.Runner
+		m.AllocBytes.Add(int64(d.AllocBytes))
+		m.AllocObjects.Add(int64(d.AllocObjects))
+		m.GCCycles.Add(int64(d.GCCycles))
+	}
 	if firstErr != nil {
 		return firstErr
 	}

@@ -87,6 +87,10 @@ func (t Trial) Run(ctx context.Context) (RunStats, error) {
 // statistics. Random tag data is drawn from seed. Cancelling ctx aborts
 // between rounds.
 func MeasureRun(ctx context.Context, sys *core.System, env *channel.Environment, rounds int, seed int64) (RunStats, error) {
+	if o := sys.Obs; o != nil {
+		// Attribute the pre-round Advance calls below to the channel phase.
+		env.Spans = o.Spans
+	}
 	rng := stats.NewRNG(seed)
 	var rs RunStats
 	detected := 0
