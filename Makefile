@@ -86,11 +86,15 @@ bench-series:
 # inside the statistical tolerance band; wall-clock budget is off (-budget
 # 0) because the committed baselines were timed on a different machine —
 # the PROF profiles are still structure-checked (every phase must keep
-# firing). Set GATEDIR to keep the candidate artifacts (CI uploads them).
+# firing). The candidate run logs to LOG_bench.jsonl in the same dir —
+# both a gate that logging stays non-perturbing (the science must still
+# match the baselines byte-for-byte) and the provenance CI uploads
+# alongside the RUNS.jsonl ledger the run appends. Set GATEDIR to keep
+# the candidate artifacts (CI uploads them).
 gate:
 	@out='$(GATEDIR)'; \
 	if [ -z "$$out" ]; then out=$$(mktemp -d) && trap 'rm -rf "$$out"' EXIT; fi && \
-	$(GO) run ./cmd/witag-bench -experiment all -json "$$out" >/dev/null && \
+	$(GO) run ./cmd/witag-bench -experiment all -json "$$out" -log "$$out"/LOG_bench.jsonl >/dev/null && \
 	$(GO) run ./cmd/witag-gate -baseline bench -candidate "$$out" -budget 0
 
 # Whole-repo coverage profile plus the one-line total.
@@ -111,6 +115,9 @@ fuzzseed:
 
 # The worker-count determinism contract, for results AND for the
 # observability layer: metrics snapshots must be identical for 1 vs N
-# workers, and attaching instrumentation must not change any output.
+# workers, attaching instrumentation (or a logging campaign scope) must
+# not change any output, canonicalized campaign logs must be worker-count
+# invariant, and concurrent campaigns must stay byte-identical to solo
+# runs with fully disjoint metrics.
 determinism:
-	$(GO) test -run='DeterministicAcrossWorkerCounts|MetricsIdenticalAcrossWorkerCounts|InstrumentationDoesNotPerturbResults' ./internal/experiments ./internal/sim
+	$(GO) test -run='DeterministicAcrossWorkerCounts|MetricsIdenticalAcrossWorkerCounts|InstrumentationDoesNotPerturbResults|LoggingDoesNotPerturbResults|ConcurrentCampaignsIsolated' ./internal/experiments ./internal/sim

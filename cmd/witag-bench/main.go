@@ -10,6 +10,7 @@
 //	            [-transfer all|arq|fountain|rs] [-traffic all|PROFILE]
 //	            [-profile DIR] [-metrics-addr HOST:PORT] [-trace FILE]
 //	            [-trace-out DIR] [-trace-cap N] [-progress]
+//	            [-log FILE] [-log-level debug|info|warn|error]
 //
 // Scale note: "-rounds" stands in for the paper's one-minute measurement
 // windows; the defaults keep the full suite under a minute of wall time.
@@ -34,10 +35,12 @@
 //
 // Observability (all opt-in, none changes any result byte):
 //
-//	-metrics-addr :9090   serve Prometheus text at /metrics, expvar JSON at
-//	                      /debug/vars and net/http/pprof at /debug/pprof/
-//	                      for the lifetime of the run (":0" picks a port,
-//	                      printed on stderr)
+//	-metrics-addr :9090   serve the campaign hub for the lifetime of the
+//	                      run: Prometheus text at /metrics, campaign list
+//	                      and status at /campaigns, a live SSE event
+//	                      stream at /campaigns/bench/events, plus
+//	                      /debug/vars and /debug/pprof/ (":0" picks a
+//	                      port, printed on stderr)
 //	-trace trace.jsonl    record structured per-round/per-transfer events
 //	                      into a bounded ring (-trace-cap events) and write
 //	                      them as JSONL on exit
@@ -45,12 +48,18 @@
 //	                      written as TRACE_<name>.jsonl under DIR — the
 //	                      files witag-trace analyze/flag/replay consume
 //	-progress             live trials/sec and ETA on stderr
+//	-log run.jsonl        write the campaign's structured JSONL log there;
+//	                      with -json DIR, a RUNS.jsonl run-ledger line is
+//	                      also appended under DIR
+//	                      (-log-level picks the floor: debug…error)
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -61,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"witag/internal/cliflags"
 	"witag/internal/experiments"
 	"witag/internal/fault"
 	"witag/internal/obs"
@@ -72,15 +82,6 @@ import (
 
 // experimentNames lists every -experiment value, in run order.
 var experimentNames = []string{"all", "fig3", "fig5", "fig6", "s41", "compare", "power", "ablations", "robustness", "coding"}
-
-func knownExperiment(name string) bool {
-	for _, n := range experimentNames {
-		if n == name {
-			return true
-		}
-	}
-	return false
-}
 
 type benchConfig struct {
 	experiment string
@@ -100,6 +101,8 @@ type benchConfig struct {
 	traceOut    string
 	traceCap    int
 	progress    bool
+	logPath     string
+	logLevel    string
 }
 
 func main() {
@@ -120,6 +123,8 @@ func main() {
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write one TRACE_<name>.jsonl per experiment under this directory (empty: off)")
 	flag.IntVar(&cfg.traceCap, "trace-cap", obs.DefaultTraceCap, "trace ring capacity in events; oldest events are dropped beyond it")
 	flag.BoolVar(&cfg.progress, "progress", false, "live trial progress (rate, ETA) on stderr")
+	flag.StringVar(&cfg.logPath, "log", "", "write the campaign's structured JSONL log to this file (empty: off)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: "+strings.Join(cliflags.LogLevels, ", "))
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -154,6 +159,16 @@ func writeMemProfiles(dir, name string) error {
 		}
 	}
 	return nil
+}
+
+// logWriter narrows a possibly-nil *os.File to the interface
+// CampaignOptions expects: a nil file must become a nil interface, or
+// the campaign would log into a typed-nil writer.
+func logWriter(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
 }
 
 // gitSHA resolves the tree the artifacts were built from, for the
@@ -194,64 +209,126 @@ func provenance(cfg benchConfig) regress.Provenance {
 	}
 }
 
-func run(ctx context.Context, cfg benchConfig) error {
-	// Satellite contract: reject unknown selector values before any work,
-	// naming the valid choices — a typo must not silently run nothing.
-	if !knownExperiment(cfg.experiment) {
-		return fmt.Errorf("unknown experiment %q (valid: %s)", cfg.experiment, strings.Join(experimentNames, ", "))
+func run(ctx context.Context, cfg benchConfig) (err error) {
+	// Up-front flag validation, shared with the other CLIs via
+	// internal/cliflags: reject unknown selectors and unusable paths
+	// before any work, naming the flag and the valid choices — a typo
+	// must not silently run nothing.
+	if verr := cliflags.Choice("-experiment", cfg.experiment, experimentNames, false); verr != nil {
+		return verr
 	}
-	if _, err := fault.Named(cfg.faultProf); err != nil {
-		return err // fault.Named lists the valid profile names
+	if verr := cliflags.FaultProfile("-fault", cfg.faultProf, false); verr != nil {
+		return verr
 	}
-	if cfg.transfer != "all" && !experiments.KnownCodingScheme(cfg.transfer) {
-		return fmt.Errorf("unknown transfer scheme %q (valid: all, %s)", cfg.transfer, strings.Join(experiments.CodingSchemes, ", "))
+	if verr := cliflags.Choice("-transfer", cfg.transfer, append([]string{"all"}, experiments.CodingSchemes...), false); verr != nil {
+		return verr
 	}
-	if cfg.trafficSel != "all" {
-		if _, err := traffic.Named(cfg.trafficSel); err != nil {
-			return err // traffic.Named lists the valid profile names
-		}
+	if verr := cliflags.TrafficProfile("-traffic", cfg.trafficSel, false, true); verr != nil {
+		return verr
 	}
 	if cfg.tracePath != "" && cfg.traceOut != "" {
 		return fmt.Errorf("-trace and -trace-out are exclusive: one ring for the whole run, or one per experiment")
 	}
-	// Same contract for output paths: an unwritable -profile directory must
-	// fail now, not after minutes of sweeping.
-	if cfg.profileDir != "" {
-		if err := os.MkdirAll(cfg.profileDir, 0o755); err != nil {
-			return fmt.Errorf("-profile: %w", err)
+	logLevel, verr := cliflags.LogLevel("-log-level", cfg.logLevel)
+	if verr != nil {
+		return verr
+	}
+	for _, v := range []error{
+		cliflags.OutputDir("-profile", cfg.profileDir),
+		cliflags.OutputDir("-json", cfg.jsonDir),
+		cliflags.OutputDir("-trace-out", cfg.traceOut),
+		cliflags.OutputFile("-trace", cfg.tracePath),
+		cliflags.OutputFile("-log", cfg.logPath),
+		cliflags.MetricsAddr("-metrics-addr", cfg.metricsAddr),
+	} {
+		if v != nil {
+			return v
 		}
 	}
 
-	// Observability wiring: one registry + optional trace ring for the
-	// whole run, installed as the experiments-package observer so every
-	// system, injector, transferer and runner the harnesses build is
-	// instrumented. Attaching it draws no RNG values and changes no
-	// output byte.
-	reg := obs.NewRegistry()
-	var trace *obs.Recorder
-	if cfg.tracePath != "" {
-		trace = obs.NewRecorder(cfg.traceCap)
-	}
-	observer := obs.NewObserver(reg, trace)
-	defer experiments.SetObserver(experiments.SetObserver(observer))
+	// Campaign wiring: this invocation is one campaign scope under a
+	// process hub — its own registry, trace ring, progress reporter,
+	// structured logger and SSE event broker. Every system, injector,
+	// transferer and runner the harnesses build is instrumented through
+	// it; attaching it draws no RNG values and changes no output byte.
 	var progress *obs.Progress
 	if cfg.progress {
 		progress = obs.NewProgress(os.Stderr, "trials")
 		defer progress.Finish()
 	}
+	var logFile *os.File
+	if cfg.logPath != "" {
+		logFile, err = os.Create(cfg.logPath)
+		if err != nil {
+			return fmt.Errorf("-log: %w", err)
+		}
+		defer logFile.Close()
+	}
+	traceCap := 0
+	if cfg.tracePath != "" {
+		traceCap = cfg.traceCap
+		if traceCap <= 0 {
+			traceCap = obs.DefaultTraceCap
+		}
+	}
+	hub := obs.NewHub()
+	camp, err := hub.Register("bench", obs.CampaignOptions{
+		TraceCap: traceCap,
+		Progress: progress,
+		LogW:     logWriter(logFile),
+		LogLevel: logLevel,
+	})
+	if err != nil {
+		return err
+	}
+	reg, observer, trace := camp.Registry, camp.Observer, camp.Trace
+	defer experiments.SetObserver(experiments.SetObserver(observer))
 	defer experiments.SetProgress(experiments.SetProgress(progress))
+	defer experiments.SetCampaign(experiments.SetCampaign(camp))
+
+	// The run ledger and the final campaign status, written however the
+	// run ends. The ledger lands beside the BENCH artifacts (no -json
+	// directory, no ledger); artifacts collects what the run wrote.
+	var artifacts []string
+	defer func() {
+		camp.Finish(err)
+		outcome := "ok"
+		switch {
+		case err != nil && ctx.Err() != nil:
+			outcome = "cancelled"
+		case err != nil:
+			outcome = "error"
+		}
+		camp.Logger.Info("run finished", slog.String("outcome", outcome), slog.Int64("wall_ms", camp.WallMs()))
+		if cfg.jsonDir == "" {
+			return
+		}
+		rec := obs.RunRecord{
+			Tool: "witag-bench", Campaign: camp.ID, Outcome: outcome,
+			WallMs: camp.WallMs(), Artifacts: artifacts, Provenance: provenance(cfg),
+		}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		if lerr := obs.AppendRunRecord(cfg.jsonDir, rec); lerr != nil {
+			fmt.Fprintln(os.Stderr, "witag-bench: ledger:", lerr)
+		}
+	}()
+	camp.Logger.Info("run started",
+		slog.String("experiment", cfg.experiment), slog.Int64("seed", cfg.seed),
+		slog.Int("runs", cfg.runs), slog.Int("rounds", cfg.rounds))
 
 	if cfg.metricsAddr != "" {
-		srv, err := obs.Serve(cfg.metricsAddr, reg)
-		if err != nil {
-			return err
+		srv, serr := obs.ServeHub(cfg.metricsAddr, hub)
+		if serr != nil {
+			return serr
 		}
 		// Tear the listener down on Ctrl-C too, not only on return — Close
 		// is idempotent, so the AfterFunc and the defer can race safely.
-		unhook := context.AfterFunc(ctx, func() { srv.Close() })
+		unhook := context.AfterFunc(ctx, func() { hub.CloseAll(); srv.Close() })
 		defer unhook()
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /campaigns, /campaigns/%s/events, /debug/pprof/)\n", srv.Addr, camp.ID)
 	}
 	if cfg.tracePath != "" {
 		defer func() {
@@ -302,6 +379,12 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if spansFired && rep.Trials > 0 && rep.Coverage < 0.9 {
 			fmt.Fprintf(os.Stderr, "perf: %s: spans attribute only %.1f%% of trial wall time\n", name, 100*rep.Coverage)
 		}
+		// Live phase-attribution snapshot for /campaigns/bench/events
+		// watchers, mirroring the PROF artifact written below.
+		rep.Publish(camp, name)
+		camp.Logger.Info("experiment finished", slog.String("experiment", name),
+			slog.Int64("trials", delta.Counters["runner.trials_started"]),
+			slog.Int64("rounds", delta.Counters["core.rounds"]))
 		if cfg.jsonDir == "" {
 			return nil
 		}
@@ -314,7 +397,12 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if err := regress.WriteMetrics(cfg.jsonDir, name, prov, delta); err != nil {
 			return err
 		}
-		return regress.WriteProf(cfg.jsonDir, name, prov, rep)
+		if err := regress.WriteProf(cfg.jsonDir, name, prov, rep); err != nil {
+			return err
+		}
+		artifacts = append(artifacts,
+			"BENCH_"+name+".json", "BENCH_"+name+".metrics.json", "PROF_"+name+".json")
+		return nil
 	}
 
 	all := cfg.experiment == "all"
@@ -328,6 +416,7 @@ func run(ctx context.Context, cfg benchConfig) error {
 		if !all && cfg.experiment != name {
 			return nil
 		}
+		camp.Logger.Info("experiment started", slog.String("experiment", name))
 		o := observer
 		var rec *obs.Recorder
 		if cfg.traceOut != "" {
@@ -349,7 +438,7 @@ func run(ctx context.Context, cfg benchConfig) error {
 				return perr
 			}
 		}
-		err := fn(sim.Runner{Workers: parallel, Obs: o, Progress: progress})
+		err := fn(sim.Runner{Workers: parallel, Obs: o, Progress: progress, Campaign: camp})
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if cerr := cpuFile.Close(); err == nil && cerr != nil {
@@ -370,6 +459,7 @@ func run(ctx context.Context, cfg benchConfig) error {
 			return err
 		}
 		path := filepath.Join(cfg.traceOut, "TRACE_"+name+".jsonl")
+		artifacts = append(artifacts, path)
 		f, err := os.Create(path)
 		if err != nil {
 			return err

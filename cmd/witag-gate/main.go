@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"witag/internal/cliflags"
 	"witag/internal/regress"
 )
 
@@ -46,6 +47,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "witag-gate: -candidate DIR is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Same up-front validation contract as the other CLIs (via
+	// internal/cliflags): a mistyped directory must fail with the flag
+	// named, not as a bare open error mid-gate.
+	for flagName, dir := range map[string]string{"-baseline": *baseline, "-candidate": *candidate} {
+		if verr := cliflags.InputDir(flagName, dir); verr != nil {
+			fmt.Fprintln(os.Stderr, "witag-gate:", verr)
+			os.Exit(2)
+		}
 	}
 	rep, err := regress.Gate(*baseline, *candidate, opts)
 	if err != nil {

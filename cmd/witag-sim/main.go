@@ -17,10 +17,12 @@
 //
 // Observability (all opt-in, none changes any result byte):
 //
-//	-metrics-addr :9090   serve Prometheus text at /metrics, expvar JSON at
-//	                      /debug/vars and net/http/pprof at /debug/pprof/
-//	                      for the lifetime of the run (":0" picks a port,
-//	                      printed on stderr)
+//	-metrics-addr :9090   serve the campaign hub for the lifetime of the
+//	                      run: Prometheus text at /metrics, campaign list
+//	                      and status at /campaigns, a live SSE event
+//	                      stream at /campaigns/sim/events, plus
+//	                      /debug/vars and /debug/pprof/ (":0" picks a
+//	                      port, printed on stderr)
 //	-trace trace.jsonl    record one structured event per query round (and
 //	                      per injected control-plane fault) into a bounded
 //	                      ring (-trace-cap events), written as JSONL on
@@ -29,15 +31,21 @@
 //	-cpuprofile cpu.pprof capture a CPU profile of the whole campaign
 //	-memprofile mem.pprof capture an allocation profile (post-GC heap plus
 //	                      cumulative allocs) at campaign end
+//	-log run.jsonl        write the campaign's structured JSONL log there
+//	                      and append a run record to RUNS.jsonl beside it
+//	                      (-log-level picks the floor: debug…error)
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -45,6 +53,7 @@ import (
 	"syscall"
 
 	"witag/internal/channel"
+	"witag/internal/cliflags"
 	"witag/internal/coding"
 	"witag/internal/core"
 	"witag/internal/crypto80211"
@@ -74,12 +83,14 @@ func main() {
 		seed        = flag.Int64("seed", 1, "root random seed")
 		tempC       = flag.Float64("temp", 25, "ambient temperature °C")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run (empty: off)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /campaigns and /debug/pprof/ on this address during the run (empty: off)")
 		tracePath   = flag.String("trace", "", "write per-round trace events as JSONL to this file (empty: off)")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "trace ring capacity in events; oldest events are dropped beyond it")
 		progress    = flag.Bool("progress", false, "live run progress (rate, ETA) on stderr")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (empty: off)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile at campaign end to this file (empty: off)")
+		logPath     = flag.String("log", "", "write the campaign's structured JSONL log to this file and a RUNS.jsonl ledger beside it (empty: off)")
+		logLevel    = flag.String("log-level", "info", "minimum log level: "+strings.Join(cliflags.LogLevels, ", "))
 	)
 	flag.Parse()
 
@@ -92,7 +103,7 @@ func main() {
 		xferStr: *xferFlag, payloadLen: *payloadLen, gain: *gain, tempC: *tempC,
 	}
 	ocfg := obsConfig{metricsAddr: *metricsAddr, tracePath: *tracePath, traceCap: *traceCap, progress: *progress,
-		cpuProfile: *cpuProfile, memProfile: *memProfile}
+		cpuProfile: *cpuProfile, memProfile: *memProfile, logPath: *logPath, logLevel: *logLevel}
 	if err := run(ctx, cfg, ocfg, *rounds, *runs, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "witag-sim:", err)
 		os.Exit(1)
@@ -107,6 +118,8 @@ type obsConfig struct {
 	progress    bool
 	cpuProfile  string
 	memProfile  string
+	logPath     string
+	logLevel    string
 }
 
 // deployment is the flag-specified scenario, buildable once per run.
@@ -216,27 +229,40 @@ func (d deployment) build(envSeed int64) (*core.System, *channel.Environment, er
 	return sys, env, nil
 }
 
-func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, parallel int, seed int64) error {
+func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, parallel int, seed int64) (err error) {
 	if runs < 1 {
 		return fmt.Errorf("need at least 1 run, got %d", runs)
 	}
-	// Satellite contract: reject bad selector values before any work — a
-	// typo must produce a usage error, never a partial campaign.
-	if cfg.faultStr != "" {
-		if _, err := fault.Named(cfg.faultStr); err != nil {
-			return err
-		}
+	// Up-front flag validation, shared with the other CLIs via
+	// internal/cliflags: reject unknown selectors and unusable paths
+	// before any work — a typo must produce a usage error, never a
+	// partial campaign.
+	if verr := cliflags.FaultProfile("-fault", cfg.faultStr, true); verr != nil {
+		return verr
 	}
-	if cfg.trafficStr != "" {
-		if _, err := traffic.Named(cfg.trafficStr); err != nil {
-			return err
-		}
+	if verr := cliflags.TrafficProfile("-traffic", cfg.trafficStr, true, false); verr != nil {
+		return verr
 	}
-	if cfg.xferStr != "" && !experiments.KnownCodingScheme(cfg.xferStr) {
-		return fmt.Errorf("unknown transfer scheme %q (valid: %s)", cfg.xferStr, strings.Join(experiments.CodingSchemes, ", "))
+	if verr := cliflags.Choice("-transfer", cfg.xferStr, experiments.CodingSchemes, true); verr != nil {
+		return verr
 	}
 	if cfg.xferStr != "" && (cfg.payloadLen < 1 || cfg.payloadLen > link.MaxTransfer) {
 		return fmt.Errorf("payload %d bytes outside [1,%d]", cfg.payloadLen, link.MaxTransfer)
+	}
+	logLevel, verr := cliflags.LogLevel("-log-level", ocfg.logLevel)
+	if verr != nil {
+		return verr
+	}
+	for _, v := range []error{
+		cliflags.OutputFile("-trace", ocfg.tracePath),
+		cliflags.OutputFile("-cpuprofile", ocfg.cpuProfile),
+		cliflags.OutputFile("-memprofile", ocfg.memProfile),
+		cliflags.OutputFile("-log", ocfg.logPath),
+		cliflags.MetricsAddr("-metrics-addr", ocfg.metricsAddr),
+	} {
+		if v != nil {
+			return v
+		}
 	}
 
 	// Same contract for profile paths: an unwritable -cpuprofile or
@@ -271,33 +297,105 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 		}()
 	}
 
-	// Observability wiring: metrics registry plus optional trace ring,
-	// attached to every run's system at build time. Attaching draws no
-	// RNG values, so the measurements below are byte-identical with or
-	// without it.
-	reg := obs.NewRegistry()
-	var trace *obs.Recorder
-	if ocfg.tracePath != "" {
-		trace = obs.NewRecorder(ocfg.traceCap)
-	}
-	observer := obs.NewObserver(reg, trace)
+	// Campaign wiring: this invocation is one campaign scope under a
+	// process hub — its own registry, trace ring, progress reporter,
+	// structured logger and SSE event broker, attached to every run's
+	// system at build time. Attaching draws no RNG values, so the
+	// measurements below are byte-identical with or without it.
 	var prog *obs.Progress
 	if ocfg.progress {
 		prog = obs.NewProgress(os.Stderr, "runs")
 		defer prog.Finish()
 	}
-	if ocfg.metricsAddr != "" {
-		srv, err := obs.Serve(ocfg.metricsAddr, reg)
+	var logFile *os.File
+	if ocfg.logPath != "" {
+		logFile, err = os.Create(ocfg.logPath)
 		if err != nil {
-			return err
+			return fmt.Errorf("-log: %w", err)
+		}
+		defer logFile.Close()
+	}
+	campTraceCap := 0
+	if ocfg.tracePath != "" {
+		campTraceCap = ocfg.traceCap
+		if campTraceCap <= 0 {
+			campTraceCap = obs.DefaultTraceCap
+		}
+	}
+	hub := obs.NewHub()
+	camp, err := hub.Register("sim", obs.CampaignOptions{
+		TraceCap: campTraceCap,
+		Progress: prog,
+		LogW:     logWriter(logFile),
+		LogLevel: logLevel,
+	})
+	if err != nil {
+		return err
+	}
+	observer, trace := camp.Observer, camp.Trace
+
+	// Run ledger and final campaign status, written however the run
+	// ends. The ledger lands beside the -log file (no -log, no ledger);
+	// artifacts collects what the run wrote.
+	var artifacts []string
+	if ocfg.tracePath != "" {
+		artifacts = append(artifacts, ocfg.tracePath)
+	}
+	if ocfg.cpuProfile != "" {
+		artifacts = append(artifacts, ocfg.cpuProfile)
+	}
+	if ocfg.memProfile != "" {
+		artifacts = append(artifacts, ocfg.memProfile)
+	}
+	if ocfg.logPath != "" {
+		artifacts = append(artifacts, ocfg.logPath)
+	}
+	defer func() {
+		camp.Finish(err)
+		outcome := "ok"
+		switch {
+		case err != nil && ctx.Err() != nil:
+			outcome = "cancelled"
+		case err != nil:
+			outcome = "error"
+		}
+		camp.Logger.Info("run finished", slog.String("outcome", outcome), slog.Int64("wall_ms", camp.WallMs()))
+		if ocfg.logPath == "" {
+			return
+		}
+		rec := obs.RunRecord{
+			Tool: "witag-sim", Campaign: camp.ID, Outcome: outcome,
+			WallMs: camp.WallMs(), Artifacts: artifacts,
+			Provenance: simProvenance{
+				GoVersion: runtime.Version(), AP: cfg.apStr, Tag: cfg.tagStr,
+				Cipher: cfg.cipherStr, Fault: cfg.faultStr, Traffic: cfg.trafficStr,
+				Transfer: cfg.xferStr, Rounds: rounds, Runs: runs, Seed: seed,
+			},
+		}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		if lerr := obs.AppendRunRecord(filepath.Dir(ocfg.logPath), rec); lerr != nil {
+			fmt.Fprintln(os.Stderr, "witag-sim: ledger:", lerr)
+		}
+	}()
+	camp.Logger.Info("run started",
+		slog.String("ap", cfg.apStr), slog.String("tag", cfg.tagStr),
+		slog.String("cipher", cfg.cipherStr), slog.Int64("seed", seed),
+		slog.Int("runs", runs), slog.Int("rounds", rounds))
+
+	if ocfg.metricsAddr != "" {
+		srv, serr := obs.ServeHub(ocfg.metricsAddr, hub)
+		if serr != nil {
+			return serr
 		}
 		// Close on signal as well as on return: a ^C mid-campaign must
 		// release the listener promptly, not only once run() unwinds.
 		// Server.Close is idempotent, so the two paths race safely.
-		unhook := context.AfterFunc(ctx, func() { srv.Close() })
+		unhook := context.AfterFunc(ctx, func() { hub.CloseAll(); srv.Close() })
 		defer unhook()
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /campaigns, /campaigns/%s/events, /debug/pprof/)\n", srv.Addr, camp.ID)
 	}
 	if ocfg.tracePath != "" {
 		defer func() {
@@ -320,7 +418,7 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 	}
 
 	if cfg.xferStr != "" {
-		return runTransfers(ctx, cfg, observer, prog, runs, parallel, seed)
+		return runTransfers(ctx, cfg, camp, runs, parallel, seed)
 	}
 
 	trials := make([]sim.Trial, runs)
@@ -339,7 +437,7 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 			Obs:    observer,
 		}
 	}
-	runStats, err := sim.Runner{Workers: parallel, Obs: observer, Progress: prog}.RunTrials(ctx, trials)
+	runStats, err := sim.Runner{Workers: parallel, Obs: observer, Campaign: camp}.RunTrials(ctx, trials)
 	if err != nil {
 		return err
 	}
@@ -403,7 +501,8 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 // deployment with the selected scheme (the same transferers the adaptive-
 // coding sweep compares) and the summary reports delivery, rounds and
 // goodput instead of raw BER.
-func runTransfers(ctx context.Context, cfg deployment, observer *obs.Observer, prog *obs.Progress, runs, parallel int, seed int64) error {
+func runTransfers(ctx context.Context, cfg deployment, camp *obs.Campaign, runs, parallel int, seed int64) error {
+	observer := camp.Observer
 	type outcome struct {
 		delivered bool
 		rounds    int
@@ -411,7 +510,7 @@ func runTransfers(ctx context.Context, cfg deployment, observer *obs.Observer, p
 		airtime   float64
 		goodput   float64
 	}
-	outs, err := sim.Map(ctx, sim.Runner{Workers: parallel, Obs: observer, Progress: prog}, runs,
+	outs, err := sim.Map(ctx, sim.Runner{Workers: parallel, Obs: observer, Campaign: camp}, runs,
 		func(ctx context.Context, i int) (outcome, error) {
 			runLabel := fmt.Sprintf("run=%d", i)
 			sys, env, err := cfg.build(stats.SubSeed(seed, "sim", runLabel))
@@ -500,6 +599,30 @@ func runTransfers(ctx context.Context, cfg deployment, observer *obs.Observer, p
 		fmt.Printf("delivered goodput : %.1f Kbps\n", goodput/float64(delivered)/1e3)
 	}
 	return nil
+}
+
+// simProvenance is the ledger stamp for a witag-sim run: the deployment
+// and campaign shape, enough to re-run the exact invocation.
+type simProvenance struct {
+	GoVersion string `json:"go_version"`
+	AP        string `json:"ap"`
+	Tag       string `json:"tag"`
+	Cipher    string `json:"cipher"`
+	Fault     string `json:"fault,omitempty"`
+	Traffic   string `json:"traffic,omitempty"`
+	Transfer  string `json:"transfer,omitempty"`
+	Rounds    int    `json:"rounds"`
+	Runs      int    `json:"runs"`
+	Seed      int64  `json:"seed"`
+}
+
+// logWriter unwraps the optional log file without smuggling a typed nil
+// into the io.Writer interface.
+func logWriter(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
 }
 
 func log10(x float64) float64 {

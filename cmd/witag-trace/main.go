@@ -40,6 +40,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"witag/internal/cliflags"
 	"witag/internal/experiments"
 	"witag/internal/forensics"
 	"witag/internal/obs"
@@ -185,6 +186,15 @@ func cmdReplay(ctx context.Context, args []string) error {
 	fs.Parse(args)
 	if *trial < 0 {
 		return fmt.Errorf("replay needs -trial N")
+	}
+	// Same up-front validation contract as the other CLIs (via
+	// internal/cliflags): a bad -fault or unwritable -out must fail
+	// before the replay runs, not after it.
+	if verr := cliflags.FaultProfile("-fault", *faultProf, false); verr != nil {
+		return verr
+	}
+	if verr := cliflags.OutputFile("-out", *out); verr != nil {
+		return verr
 	}
 	tr, err := loadTrace(fs)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 var (
 	observer atomic.Pointer[obs.Observer]
 	progress atomic.Pointer[obs.Progress]
+	campaign atomic.Pointer[obs.Campaign]
 )
 
 // SetObserver installs o as the package observer and returns the previous
@@ -37,11 +38,21 @@ func SetProgress(p *obs.Progress) (prev *obs.Progress) {
 	return progress.Swap(p)
 }
 
+// SetCampaign installs the campaign scope the harnesses' runners report
+// into (live progress/anomaly events on its SSE broker), returning the
+// previous one. Install a campaign *and* its observer together:
+// SetCampaign(c) pairs with SetObserver(c.Observer), so the metrics the
+// campaign's /campaigns/<id>/metrics endpoint serves are the metrics the
+// harnesses actually moved.
+func SetCampaign(c *obs.Campaign) (prev *obs.Campaign) {
+	return campaign.Swap(c)
+}
+
 // currentObserver returns the installed observer (nil when off).
 func currentObserver() *obs.Observer { return observer.Load() }
 
 // simRunner is the pool every harness uses, wired to the package
-// observer and progress reporter.
+// observer, progress reporter and campaign scope.
 func simRunner(workers int) sim.Runner {
-	return sim.Runner{Workers: workers, Obs: observer.Load(), Progress: progress.Load()}
+	return sim.Runner{Workers: workers, Obs: observer.Load(), Progress: progress.Load(), Campaign: campaign.Load()}
 }

@@ -1,0 +1,414 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Campaign is one sweep's private telemetry scope: its own registry (and
+// therefore its own typed Observer views, span histograms and perf
+// deltas), its own trace recorder, progress tally, event broker and
+// structured logger. Two campaigns in one process share nothing mutable,
+// so their metrics cannot smear — the substrate a long-lived witag-serve
+// schedules work onto (ROADMAP item 3).
+//
+// Everything a Campaign owns is a sink: attaching one to a runner or a
+// system draws no RNG values and feeds nothing back, so science output is
+// byte-identical with or without it (TestLoggingDoesNotPerturbResults,
+// TestConcurrentCampaignsIsolated).
+type Campaign struct {
+	// ID is the hub key ("bench", "sim", a witag-serve job ID …).
+	ID string
+	// Registry backs Observer; one per campaign, never shared.
+	Registry *Registry
+	// Observer is the typed instrument handle threaded into systems,
+	// injectors, transferers and runners built for this campaign.
+	Observer *Observer
+	// Trace is the campaign's bounded event ring (nil: tracing off).
+	Trace *Recorder
+	// Progress is the campaign's terminal reporter (nil: quiet).
+	Progress *Progress
+	// Events fans live progress/phase/anomaly snapshots to SSE clients.
+	Events *Broker
+	// Logger writes the campaign's JSONL log. Never nil: without a log
+	// writer it discards below LevelError+1.
+	Logger *slog.Logger
+
+	// MinEventInterval rate-limits progress events (default 250 ms).
+	MinEventInterval time.Duration
+
+	startNs atomic.Int64 // wall clock, volatile — status/ledger only
+	done    atomic.Int64
+	total   atomic.Int64
+	lastNs  atomic.Int64 // last progress event, for rate limiting
+
+	mu      sync.Mutex
+	state   string // "running", "done", "failed"
+	outcome string // error text when failed
+}
+
+// CampaignOptions configures NewCampaign. The zero value means: no trace
+// ring, no progress reporter, discard logs.
+type CampaignOptions struct {
+	// TraceCap > 0 attaches a trace recorder with that ring capacity;
+	// < 0 attaches one at DefaultTraceCap; 0 means no tracing.
+	TraceCap int
+	// Progress, when non-nil, receives live terminal updates.
+	Progress *Progress
+	// LogW, when non-nil, receives the campaign's JSONL log at LogLevel.
+	LogW io.Writer
+	// LogLevel gates the logger (default slog.LevelInfo).
+	LogLevel slog.Leveler
+}
+
+// NewCampaign builds a self-contained campaign scope. The returned
+// campaign is in state "running" with its start time stamped.
+func NewCampaign(id string, opts CampaignOptions) *Campaign {
+	reg := NewRegistry()
+	var rec *Recorder
+	if opts.TraceCap != 0 {
+		cap := opts.TraceCap
+		if cap < 0 {
+			cap = DefaultTraceCap
+		}
+		rec = NewRecorder(cap)
+	}
+	c := &Campaign{
+		ID:       id,
+		Registry: reg,
+		Observer: NewObserver(reg, rec),
+		Trace:    rec,
+		Progress: opts.Progress,
+		Events:   NewBroker(),
+		state:    "running",
+	}
+	// Delivery of live events is scheduling-dependent, hence volatile.
+	c.Events.Published = reg.Counter("events.published", Volatile)
+	c.Events.Dropped = reg.Counter("events.dropped", Volatile)
+	if opts.LogW != nil {
+		logger := NewLogger(opts.LogW, opts.LogLevel)
+		c.Logger = logger.With(slog.String("campaign", id))
+	} else {
+		c.Logger = slog.New(discardHandler{})
+	}
+	c.startNs.Store(time.Now().UnixNano())
+	return c
+}
+
+// discardHandler is a never-enabled slog.Handler (log/slog gained a
+// stock one only after this module's Go baseline).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// ProgressStart registers n more expected work items, mirroring
+// Progress.Start onto the campaign's own tally (nil-safe).
+func (c *Campaign) ProgressStart(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.total.Add(int64(n))
+	c.Progress.Start(n)
+}
+
+// ProgressDone records n completed items and, at most once per
+// MinEventInterval (plus always on completion), publishes a "progress"
+// event with the campaign's tally and counters.
+func (c *Campaign) ProgressDone(n int) {
+	if c == nil {
+		return
+	}
+	done := c.done.Add(int64(n))
+	c.Progress.Done(n)
+	total := c.total.Load()
+	min := c.MinEventInterval
+	if min <= 0 {
+		min = 250 * time.Millisecond
+	}
+	now := time.Now().UnixNano()
+	last := c.lastNs.Load()
+	if now-last < int64(min) && done < total {
+		return
+	}
+	if !c.lastNs.CompareAndSwap(last, now) {
+		return // another worker just published
+	}
+	c.Events.Publish("progress", c.progressSnapshot(done, total, now))
+}
+
+// ProgressSnapshot is the payload of a "progress" SSE event.
+type ProgressSnapshot struct {
+	Campaign string  `json:"campaign"`
+	Done     int64   `json:"done"`
+	Total    int64   `json:"total"`
+	Failed   int64   `json:"failed,omitempty"`
+	RatePerS float64 `json:"rate_per_s"` // volatile: wall-clock rate
+}
+
+func (c *Campaign) progressSnapshot(done, total int64, nowNs int64) ProgressSnapshot {
+	s := ProgressSnapshot{Campaign: c.ID, Done: done, Total: total}
+	if c.Observer != nil {
+		s.Failed = c.Observer.Runner.TrialsFailed.Value()
+	}
+	if el := time.Duration(nowNs - c.startNs.Load()).Seconds(); el > 0 {
+		s.RatePerS = float64(done) / el
+	}
+	return s
+}
+
+// Anomaly is the payload of an "anomaly" SSE event: something worth a
+// human's attention happened mid-campaign (a trial failed, a trace ring
+// started dropping). It is advisory — the authoritative record stays in
+// the metrics and the trace.
+type Anomaly struct {
+	Campaign string `json:"campaign"`
+	Rule     string `json:"rule"`
+	Detail   string `json:"detail"`
+	Trial    int    `json:"trial,omitempty"`
+}
+
+// PublishAnomaly emits an "anomaly" event and logs it at Warn (nil-safe).
+func (c *Campaign) PublishAnomaly(rule, detail string, trial int) {
+	if c == nil {
+		return
+	}
+	c.Events.Publish("anomaly", Anomaly{Campaign: c.ID, Rule: rule, Detail: detail, Trial: trial})
+	c.Logger.Warn("anomaly", slog.String("rule", rule), slog.String("detail", detail), slog.Int("trial", trial))
+}
+
+// PublishPhase emits a "phase" event carrying a phase-attribution
+// snapshot (the perf package publishes its Report here per experiment).
+func (c *Campaign) PublishPhase(v any) {
+	if c == nil {
+		return
+	}
+	c.Events.Publish("phase", v)
+}
+
+// Finish marks the campaign done (or failed, when err != nil), publishes
+// a final "status" event, and closes the event broker so live SSE
+// streams terminate. Idempotent; nil-safe.
+func (c *Campaign) Finish(err error) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.state != "running" {
+		c.mu.Unlock()
+		return
+	}
+	if err != nil {
+		c.state = "failed"
+		c.outcome = err.Error()
+	} else {
+		c.state = "done"
+	}
+	c.mu.Unlock()
+	c.Events.Publish("status", c.Status())
+	c.Events.Close()
+}
+
+// WallMs returns wall milliseconds since the campaign started (volatile;
+// status and ledger only).
+func (c *Campaign) WallMs() int64 {
+	if c == nil {
+		return 0
+	}
+	return (time.Now().UnixNano() - c.startNs.Load()) / int64(time.Millisecond)
+}
+
+// CampaignStatus is one campaign's row in /campaigns.
+type CampaignStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`             // running | done | failed
+	Outcome  string `json:"outcome,omitempty"` // error text when failed
+	Done     int64  `json:"done"`
+	Total    int64  `json:"total"`
+	Failed   int64  `json:"failed,omitempty"`
+	WallMs   int64  `json:"wall_ms"` // volatile
+	Watchers int    `json:"watchers"`
+	Dropped  int64  `json:"events_dropped,omitempty"`
+}
+
+// Status returns the campaign's live status row.
+func (c *Campaign) Status() CampaignStatus {
+	c.mu.Lock()
+	state, outcome := c.state, c.outcome
+	c.mu.Unlock()
+	st := CampaignStatus{
+		ID:       c.ID,
+		State:    state,
+		Outcome:  outcome,
+		Done:     c.done.Load(),
+		Total:    c.total.Load(),
+		WallMs:   c.WallMs(),
+		Watchers: c.Events.Subscribers(),
+	}
+	if c.Observer != nil {
+		st.Failed = c.Observer.Runner.TrialsFailed.Value()
+	}
+	if c.Events != nil {
+		st.Dropped = c.Events.Dropped.Value()
+	}
+	return st
+}
+
+// Hub indexes the process's campaigns by ID and aggregates them into one
+// process-wide rollup. It owns no instruments itself — it is a directory
+// plus a merge rule — so registering a campaign is cheap and removing one
+// leaves the others untouched.
+type Hub struct {
+	mu        sync.RWMutex
+	campaigns map[string]*Campaign
+	order     []string // registration order, for stable /campaigns listings
+	ready     atomic.Bool
+}
+
+// NewHub returns an empty hub, ready to serve.
+func NewHub() *Hub {
+	h := &Hub{campaigns: map[string]*Campaign{}}
+	h.ready.Store(true)
+	return h
+}
+
+// Register creates a campaign under id and indexes it. Duplicate IDs are
+// an error: a hub key must name exactly one scope.
+func (h *Hub) Register(id string, opts CampaignOptions) (*Campaign, error) {
+	if id == "" {
+		return nil, fmt.Errorf("obs: campaign ID must be non-empty")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.campaigns[id]; dup {
+		return nil, fmt.Errorf("obs: campaign %q already registered", id)
+	}
+	c := NewCampaign(id, opts)
+	h.campaigns[id] = c
+	h.order = append(h.order, id)
+	return c, nil
+}
+
+// Get returns the campaign registered under id (nil when absent).
+func (h *Hub) Get(id string) *Campaign {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.campaigns[id]
+}
+
+// Remove drops the campaign from the index (its scope stays usable by
+// whoever still holds it) and closes its event broker.
+func (h *Hub) Remove(id string) {
+	h.mu.Lock()
+	c := h.campaigns[id]
+	delete(h.campaigns, id)
+	for i, o := range h.order {
+		if o == id {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+	if c != nil {
+		c.Events.Close()
+	}
+}
+
+// List returns every campaign's status in registration order.
+func (h *Hub) List() []CampaignStatus {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]CampaignStatus, 0, len(h.order))
+	for _, id := range h.order {
+		if c := h.campaigns[id]; c != nil {
+			out = append(out, c.Status())
+		}
+	}
+	return out
+}
+
+// Rollup merges every campaign's snapshot into the process-wide view:
+// same-named instruments sum exactly (obs.Merge), so the rollup of two
+// concurrent sweeps equals the rollup of the same sweeps run alone.
+func (h *Hub) Rollup() Snapshot {
+	h.mu.RLock()
+	snaps := make([]Snapshot, 0, len(h.order))
+	for _, id := range h.order {
+		if c := h.campaigns[id]; c != nil {
+			snaps = append(snaps, c.Registry.Snapshot())
+		}
+	}
+	h.mu.RUnlock()
+	return Merge(snaps...)
+}
+
+// PrefixedRollup merges every campaign's snapshot with each instrument
+// renamed to campaign.<id>.<name> — the label-prefixed aggregate that
+// keeps per-campaign series distinguishable in one flat scrape.
+func (h *Hub) PrefixedRollup() Snapshot {
+	h.mu.RLock()
+	snaps := make([]Snapshot, 0, len(h.order))
+	for _, id := range h.order {
+		if c := h.campaigns[id]; c != nil {
+			snaps = append(snaps, c.Registry.Snapshot().WithPrefix("campaign."+id+"."))
+		}
+	}
+	h.mu.RUnlock()
+	return Merge(snaps...)
+}
+
+// Ready reports whether the hub accepts traffic (true from NewHub until
+// CloseAll).
+func (h *Hub) Ready() bool { return h.ready.Load() }
+
+// CloseAll marks the hub not-ready and closes every campaign's event
+// broker — the shutdown path of a serving process.
+func (h *Hub) CloseAll() {
+	h.ready.Store(false)
+	h.mu.RLock()
+	cs := make([]*Campaign, 0, len(h.campaigns))
+	for _, c := range h.campaigns {
+		cs = append(cs, c)
+	}
+	h.mu.RUnlock()
+	for _, c := range cs {
+		c.Events.Close()
+	}
+}
+
+// IDs returns the registered campaign IDs, sorted (for tests and the
+// index page).
+func (h *Hub) IDs() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ids := append([]string(nil), h.order...)
+	sort.Strings(ids)
+	return ids
+}
+
+// WithPrefix returns a copy of the snapshot with every instrument name
+// prefixed — the building block of the hub's label-prefixed rollup.
+func (s Snapshot) WithPrefix(prefix string) Snapshot {
+	out := emptySnapshot()
+	for n, v := range s.Counters {
+		out.Counters[prefix+n] = v
+	}
+	for n, v := range s.Gauges {
+		out.Gauges[prefix+n] = v
+	}
+	for n, h := range s.Histograms {
+		out.Histograms[prefix+n] = h
+	}
+	for n := range s.Volatile {
+		out.Volatile[prefix+n] = true
+	}
+	return out
+}

@@ -45,13 +45,19 @@ func NewMux(reg *Registry) *http.ServeMux {
 // appends the registry snapshot under "witag". Duplicating the loop here
 // avoids expvar.Publish, whose global table panics on re-registration.
 func expvarHandler(reg *Registry) http.HandlerFunc {
+	return expvarSnapshotHandler(reg.Snapshot)
+}
+
+// expvarSnapshotHandler is expvarHandler over any snapshot source (a
+// registry, a hub rollup …).
+func expvarSnapshotHandler(snapshot func() Snapshot) http.HandlerFunc {
 	return func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		fmt.Fprintf(w, "{\n")
 		expvar.Do(func(kv expvar.KeyValue) {
 			fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value.String())
 		})
-		snap := expvar.Func(func() any { return reg.Snapshot() })
+		snap := expvar.Func(func() any { return snapshot() })
 		fmt.Fprintf(w, "%q: %s\n}\n", "witag", snap.String())
 	}
 }
@@ -69,13 +75,19 @@ type Server struct {
 
 // Serve binds addr and serves reg's endpoints in a background goroutine.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, NewMux(reg))
+}
+
+// ServeHandler binds addr and serves an arbitrary handler (the hub mux,
+// in the CLIs) in a background goroutine.
+func ServeHandler(addr string, handler http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		Addr: ln.Addr(),
-		srv:  &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second},
 		done: make(chan error, 1),
 	}
 	go func() {

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Live campaign HTTP surface. A hub mux extends the single-registry mux
+// with per-campaign endpoints:
+//
+//	/campaigns                    list + status JSON
+//	/campaigns/<id>               one campaign's status JSON
+//	/campaigns/<id>/metrics       Prometheus text (default) or ?format=json snapshot
+//	/campaigns/<id>/events        SSE stream of progress/phase/anomaly/status events
+//	/metrics                      process-wide rollup (merged across campaigns)
+//	/metrics?per_campaign=1       label-prefixed rollup (campaign.<id>.<name>)
+//	/healthz                      liveness (always 200 while the process serves)
+//	/readyz                       readiness (503 once the hub begins shutdown)
+//
+// plus the /debug/vars and /debug/pprof/ surfaces the single-registry mux
+// already carries. Everything hangs off a private mux, so several hubs
+// (or a hub and a legacy registry server) coexist in one process.
+
+// registerDebug mounts the expvar-style and pprof endpoints shared by
+// both mux flavours.
+func registerDebug(mux *http.ServeMux, snap func() Snapshot) {
+	mux.HandleFunc("/debug/vars", expvarSnapshotHandler(snap))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// writeJSON writes v as a compact JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// NewHubMux returns a mux serving hub's observability endpoints.
+func NewHubMux(hub *Hub) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r.URL.Query().Get("per_campaign") != "" {
+			_ = hub.PrefixedRollup().WritePrometheus(w)
+			return
+		}
+		_ = hub.Rollup().WritePrometheus(w)
+	})
+	mux.HandleFunc("/campaigns", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, hub.List())
+	})
+	mux.HandleFunc("/campaigns/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/campaigns/")
+		id, sub, _ := strings.Cut(rest, "/")
+		c := hub.Get(id)
+		if c == nil {
+			http.NotFound(w, r)
+			return
+		}
+		switch sub {
+		case "":
+			writeJSON(w, c.Status())
+		case "metrics":
+			snap := c.Registry.Snapshot()
+			if r.URL.Query().Get("format") == "json" {
+				writeJSON(w, snap)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = snap.WritePrometheusLabeled(w, "campaign", c.ID)
+		case "events":
+			c.Events.ServeSSE(w, r, DefaultEventQueue)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !hub.Ready() {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	registerDebug(mux, hub.Rollup)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "witag observability: /campaigns /metrics /healthz /readyz /debug/vars /debug/pprof/\n")
+	})
+	return mux
+}
+
+// ServeHub binds addr and serves hub's endpoints in the background; the
+// returned Server closes like the single-registry one.
+func ServeHub(addr string, hub *Hub) (*Server, error) {
+	return ServeHandler(addr, NewHubMux(hub))
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLedgerAppendAndRead(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "artifacts") // AppendRunRecord creates it
+	if err := AppendRunRecord(dir, RunRecord{
+		Tool: "witag-bench", Campaign: "bench", WallMs: 1200,
+		Artifacts:  []string{"BENCH_figure5.json"},
+		Provenance: map[string]any{"seed": 42},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendRunRecord(dir, RunRecord{
+		Tool: "witag-sim", Campaign: "sim", Outcome: "error", Error: "boom",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(filepath.Join(dir, RunLedgerFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadRunLedger(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("ledger has %d records, want 2 (append-only)", len(recs))
+	}
+	if recs[0].Kind != "run" || recs[0].Outcome != "ok" {
+		t.Errorf("record 0 = %+v, want kind=run with defaulted outcome=ok", recs[0])
+	}
+	if recs[0].Tool != "witag-bench" || recs[0].WallMs != 1200 || len(recs[0].Artifacts) != 1 {
+		t.Errorf("record 0 lost fields: %+v", recs[0])
+	}
+	if recs[1].Outcome != "error" || recs[1].Error != "boom" {
+		t.Errorf("record 1 = %+v, want error/boom", recs[1])
+	}
+}
+
+func TestReadRunLedgerRejectsDamage(t *testing.T) {
+	_, err := ReadRunLedger(strings.NewReader("{\"kind\":\"run\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("damaged ledger read returned %v, want a line-2 error", err)
+	}
+}

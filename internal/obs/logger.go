@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Structured logging for campaigns: a thin log/slog handler that writes
+// one JSON object per line (JSONL, the same framing as the trace files it
+// sits beside). The handler is deliberately minimal so its behaviour is
+// fully specified here:
+//
+//   - Field order is fixed — ts, level, msg, campaign (when set via
+//     WithAttrs), then the record's attrs in call order — so two runs
+//     logging the same things produce line-for-line comparable files.
+//   - The only nondeterministic field is "ts" (wall clock). It is named
+//     in VolatileLogKeys, and CanonicalizeLog strips every such key, so
+//     the determinism suite can require canonicalized logs to be
+//     byte-identical across worker counts while the raw file still
+//     carries real timestamps for humans.
+//   - Logging is a pure sink: nothing in the simulation reads a logger,
+//     and the harness-level call sites run sequentially (per experiment,
+//     per campaign), never per trial on worker goroutines — so enabling
+//     a log file cannot perturb or reorder science output.
+//
+// The handler is safe for concurrent use; a single mutex serialises line
+// writes (log volume is tens of lines per campaign, not a hot path).
+
+// VolatileLogKeys names the log fields that carry wall-clock data and are
+// stripped by CanonicalizeLog before determinism comparisons.
+var VolatileLogKeys = map[string]bool{"ts": true, "wall_ms": true, "rate_per_s": true}
+
+// JSONLHandler is a deterministic slog.Handler writing JSONL to one
+// writer. Construct with NewJSONLHandler.
+type JSONLHandler struct {
+	mu    *sync.Mutex
+	w     *bufio.Writer
+	level slog.Leveler
+	attrs []slog.Attr // pre-bound via WithAttrs, already prefixed
+	group string      // dotted group prefix from WithGroup
+	now   func() time.Time
+}
+
+// NewJSONLHandler returns a handler writing records at or above level to
+// w. Pass a *os.File for campaign logs; the handler flushes after every
+// line so a crashed run keeps everything it logged.
+func NewJSONLHandler(w io.Writer, level slog.Leveler) *JSONLHandler {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	return &JSONLHandler{
+		mu:    &sync.Mutex{},
+		w:     bufio.NewWriter(w),
+		level: level,
+		now:   time.Now,
+	}
+}
+
+// NewLogger returns a slog.Logger over a fresh JSONL handler on w.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(NewJSONLHandler(w, level))
+}
+
+// Enabled implements slog.Handler.
+func (h *JSONLHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level.Level()
+}
+
+// Handle implements slog.Handler: one JSON line per record, fixed key
+// order, flushed immediately.
+func (h *JSONLHandler) Handle(_ context.Context, r slog.Record) error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, '{')
+	buf = appendKey(buf, "ts")
+	buf = strconv.AppendQuote(buf, h.now().UTC().Format(time.RFC3339Nano))
+	buf = append(buf, ',')
+	buf = appendKey(buf, "level")
+	buf = strconv.AppendQuote(buf, r.Level.String())
+	buf = append(buf, ',')
+	buf = appendKey(buf, "msg")
+	buf = strconv.AppendQuote(buf, r.Message)
+	for _, a := range h.attrs {
+		buf = appendAttr(buf, "", a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		buf = appendAttr(buf, h.group, a)
+		return true
+	})
+	buf = append(buf, '}', '\n')
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, err := h.w.Write(buf); err != nil {
+		return err
+	}
+	return h.w.Flush()
+}
+
+// WithAttrs implements slog.Handler; the bound attrs render after msg on
+// every subsequent record, in binding order.
+func (h *JSONLHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	h2 := *h
+	h2.attrs = make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	h2.attrs = append(h2.attrs, h.attrs...)
+	for _, a := range attrs {
+		if h.group != "" {
+			a.Key = h.group + "." + a.Key
+		}
+		h2.attrs = append(h2.attrs, a)
+	}
+	return &h2
+}
+
+// WithGroup implements slog.Handler with a dotted-prefix flattening —
+// group "xfer" turns attr "rounds" into key "xfer.rounds", keeping the
+// line a single flat object like the trace events beside it.
+func (h *JSONLHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	h2 := *h
+	if h.group != "" {
+		h2.group = h.group + "." + name
+	} else {
+		h2.group = name
+	}
+	return &h2
+}
+
+func appendKey(buf []byte, key string) []byte {
+	buf = strconv.AppendQuote(buf, key)
+	return append(buf, ':')
+}
+
+func appendAttr(buf []byte, prefix string, a slog.Attr) []byte {
+	if a.Equal(slog.Attr{}) {
+		return buf
+	}
+	key := a.Key
+	if prefix != "" {
+		key = prefix + "." + key
+	}
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			buf = appendAttr(buf, key, ga)
+		}
+		return buf
+	}
+	buf = append(buf, ',')
+	buf = appendKey(buf, key)
+	switch v.Kind() {
+	case slog.KindInt64:
+		buf = strconv.AppendInt(buf, v.Int64(), 10)
+	case slog.KindUint64:
+		buf = strconv.AppendUint(buf, v.Uint64(), 10)
+	case slog.KindBool:
+		buf = strconv.AppendBool(buf, v.Bool())
+	case slog.KindFloat64:
+		// %g is shortest-exact: the same float renders the same bytes on
+		// every platform, keeping canonicalized logs diffable.
+		buf = append(buf, fmt.Sprintf("%g", v.Float64())...)
+	case slog.KindDuration:
+		buf = strconv.AppendQuote(buf, v.Duration().String())
+	case slog.KindTime:
+		buf = strconv.AppendQuote(buf, v.Time().UTC().Format(time.RFC3339Nano))
+	default:
+		buf = strconv.AppendQuote(buf, fmt.Sprint(v.Any()))
+	}
+	return buf
+}
+
+// CanonicalizeLog copies a JSONL log from r to w with every
+// VolatileLogKeys field removed from every line, preserving field order
+// otherwise. Two campaign logs that differ only in wall-clock data
+// canonicalize to identical bytes — the form the determinism tests
+// compare. Lines that are not JSON objects pass through unchanged.
+func CanonicalizeLog(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	bw := bufio.NewWriter(w)
+	for sc.Scan() {
+		line := sc.Bytes()
+		out, err := stripVolatileKeys(line)
+		if err != nil {
+			out = append([]byte(nil), line...)
+		}
+		bw.Write(out)
+		bw.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// stripVolatileKeys removes top-level VolatileLogKeys fields from one
+// JSON object literal without re-marshalling (which would reorder keys).
+// It walks the "key": value pairs at depth 1 of the flat, string-keyed
+// shape JSONLHandler writes and drops the volatile ones.
+func stripVolatileKeys(line []byte) ([]byte, error) {
+	n := len(line)
+	i := 0
+	skipWS := func() {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+	}
+	skipWS()
+	if i >= n || line[i] != '{' {
+		return nil, fmt.Errorf("obs: not an object")
+	}
+	i++
+	out := make([]byte, 0, n)
+	out = append(out, '{')
+	first := true
+	for {
+		skipWS()
+		if i < n && line[i] == '}' {
+			i++
+			break
+		}
+		if i < n && line[i] == ',' {
+			i++
+			skipWS()
+		}
+		if i >= n || line[i] != '"' {
+			return nil, fmt.Errorf("obs: malformed object")
+		}
+		key, rest, err := scanString(line[i:])
+		if err != nil {
+			return nil, err
+		}
+		i = n - len(rest)
+		skipWS()
+		if i >= n || line[i] != ':' {
+			return nil, fmt.Errorf("obs: malformed object")
+		}
+		i++
+		skipWS()
+		valStart := i
+		if err := scanValue(line, &i); err != nil {
+			return nil, err
+		}
+		if VolatileLogKeys[key] {
+			continue
+		}
+		if !first {
+			out = append(out, ',')
+		}
+		first = false
+		out = strconv.AppendQuote(out, key)
+		out = append(out, ':')
+		out = append(out, line[valStart:i]...)
+	}
+	out = append(out, '}')
+	return out, nil
+}
+
+// scanString decodes one JSON string starting at b[0] == '"', returning
+// its value and the remainder.
+func scanString(b []byte) (string, []byte, error) {
+	if len(b) == 0 || b[0] != '"' {
+		return "", nil, fmt.Errorf("obs: expected string")
+	}
+	for i := 1; i < len(b); i++ {
+		switch b[i] {
+		case '\\':
+			i++
+		case '"':
+			s, err := strconv.Unquote(string(b[:i+1]))
+			if err != nil {
+				return "", nil, err
+			}
+			return s, b[i+1:], nil
+		}
+	}
+	return "", nil, fmt.Errorf("obs: unterminated string")
+}
+
+// scanValue advances *i past one JSON value (string, number, literal,
+// array or object) in line.
+func scanValue(line []byte, i *int) error {
+	n := len(line)
+	if *i >= n {
+		return fmt.Errorf("obs: missing value")
+	}
+	switch line[*i] {
+	case '"':
+		_, rest, err := scanString(line[*i:])
+		if err != nil {
+			return err
+		}
+		*i = n - len(rest)
+		return nil
+	case '{', '[':
+		depth := 0
+		for ; *i < n; *i++ {
+			switch line[*i] {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					*i++
+					return nil
+				}
+			case '"':
+				_, rest, err := scanString(line[*i:])
+				if err != nil {
+					return err
+				}
+				*i = n - len(rest) - 1
+			}
+		}
+		return fmt.Errorf("obs: unterminated composite")
+	default:
+		for ; *i < n; *i++ {
+			c := line[*i]
+			if c == ',' || c == '}' || c == ']' || c == ' ' {
+				return nil
+			}
+		}
+		return fmt.Errorf("obs: unterminated value")
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a now func stepping one second per record from a
+// fixed origin, so tests exercise real, distinct timestamps.
+func fixedClock(origin time.Time) func() time.Time {
+	n := 0
+	return func() time.Time {
+		n++
+		return origin.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func testLogger(w *bytes.Buffer, level slog.Leveler, origin time.Time) *slog.Logger {
+	h := NewJSONLHandler(w, level)
+	h.now = fixedClock(origin)
+	return slog.New(h)
+}
+
+func TestJSONLHandlerFixedFieldOrder(t *testing.T) {
+	var buf bytes.Buffer
+	log := testLogger(&buf, slog.LevelInfo, time.Unix(1700000000, 0).UTC())
+	log = log.With(slog.String("campaign", "bench"))
+	log.Info("run started", slog.Int("runs", 3), slog.Float64("gain", 68.5), slog.Bool("ok", true))
+	log.Debug("filtered out")
+	log.WithGroup("xfer").Warn("stall", slog.Int("rounds", 12))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (debug filtered):\n%s", len(lines), buf.String())
+	}
+	want0 := `{"ts":"2023-11-14T22:13:21Z","level":"INFO","msg":"run started","campaign":"bench","runs":3,"gain":68.5,"ok":true}`
+	if lines[0] != want0 {
+		t.Errorf("line 0:\n got %s\nwant %s", lines[0], want0)
+	}
+	// WithGroup flattens to dotted keys, keeping lines single flat
+	// objects like the trace events beside them.
+	want1 := `{"ts":"2023-11-14T22:13:22Z","level":"WARN","msg":"stall","campaign":"bench","xfer.rounds":12}`
+	if lines[1] != want1 {
+		t.Errorf("line 1:\n got %s\nwant %s", lines[1], want1)
+	}
+}
+
+func TestJSONLHandlerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	log := testLogger(&buf, slog.LevelError, time.Unix(0, 0))
+	log.Info("no")
+	log.Warn("no")
+	log.Error("yes")
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("LevelError handler wrote %d lines, want 1:\n%s", n, buf.String())
+	}
+}
+
+func TestCanonicalizeLogStripsVolatileKeys(t *testing.T) {
+	in := strings.Join([]string{
+		`{"ts":"2023-11-14T22:13:21Z","level":"INFO","msg":"a","runs":3}`,
+		`{"ts":"2023-11-14T22:13:22Z","level":"INFO","msg":"b","wall_ms":812,"rate_per_s":99.5,"done":6}`,
+		`{"msg":"nested stays","obj":{"ts":"inner is not top-level"},"arr":[1,2]}`,
+		`not json at all`,
+	}, "\n") + "\n"
+	want := strings.Join([]string{
+		`{"level":"INFO","msg":"a","runs":3}`,
+		`{"level":"INFO","msg":"b","done":6}`,
+		`{"msg":"nested stays","obj":{"ts":"inner is not top-level"},"arr":[1,2]}`,
+		`not json at all`,
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := CanonicalizeLog(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want {
+		t.Fatalf("canonicalized:\n got %q\nwant %q", out.String(), want)
+	}
+}
+
+func TestCanonicalizedLogsIdenticalAcrossClocks(t *testing.T) {
+	// Two runs logging the same records at different wall times must
+	// canonicalize to identical bytes — the determinism suite's form.
+	emit := func(origin time.Time) string {
+		var buf bytes.Buffer
+		log := testLogger(&buf, slog.LevelInfo, origin)
+		log = log.With(slog.String("campaign", "bench"))
+		log.Info("run started", slog.Int64("seed", 42))
+		log.Info("experiment finished", slog.String("experiment", "figure5"), slog.Int("trials", 96))
+		log.Info("run finished", slog.String("outcome", "ok"), slog.Int64("wall_ms", int64(origin.UnixNano()%1000)))
+		return buf.String()
+	}
+	a := emit(time.Unix(1700000000, 0).UTC())
+	b := emit(time.Unix(1800000000, 123).UTC())
+	if a == b {
+		t.Fatal("raw logs identical — the clock injection is broken, test is vacuous")
+	}
+	var ca, cb bytes.Buffer
+	if err := CanonicalizeLog(strings.NewReader(a), &ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := CanonicalizeLog(strings.NewReader(b), &cb); err != nil {
+		t.Fatal(err)
+	}
+	if ca.String() != cb.String() {
+		t.Fatalf("canonicalized logs differ:\n%s\nvs\n%s", ca.String(), cb.String())
+	}
+	if strings.Contains(ca.String(), `"ts"`) || strings.Contains(ca.String(), `"wall_ms"`) {
+		t.Fatalf("volatile keys survived canonicalization:\n%s", ca.String())
+	}
+}

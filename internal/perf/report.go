@@ -90,6 +90,20 @@ func FromSnapshot(delta obs.Snapshot) *Report {
 	return rep
 }
 
+// Publish pushes the report to the campaign's SSE stream as a "phase"
+// event tagged with the experiment name — the live form of the
+// PROF_<name>.json artifact, so a watcher sees attribution as each
+// experiment finishes instead of after the run. Nil-safe on both sides.
+func (r *Report) Publish(c *obs.Campaign, experiment string) {
+	if r == nil || c == nil {
+		return
+	}
+	c.PublishPhase(struct {
+		Experiment string `json:"experiment"`
+		*Report
+	}{Experiment: experiment, Report: r})
+}
+
 // Phase returns the named phase's stats (nil when absent — only possible
 // on reports unmarshalled from foreign artifacts).
 func (r *Report) Phase(name string) *PhaseStat {

@@ -23,6 +23,12 @@ type Runner struct {
 	// (trials/sec and ETA on stderr in the CLIs). Purely a sink — it
 	// never feeds back into the work.
 	Progress *obs.Progress
+	// Campaign, when non-nil, scopes this runner's live reporting: its
+	// tally feeds the campaign's own Progress reporter and its SSE
+	// broker (rate-limited "progress" events, one "anomaly" event per
+	// failed trial), and Progress above is ignored to avoid counting
+	// every item twice. Also purely a sink.
+	Campaign *obs.Campaign
 }
 
 func (r Runner) workers() int {
@@ -49,7 +55,11 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	r.Progress.Start(n)
+	if r.Campaign != nil {
+		r.Campaign.ProgressStart(n)
+	} else {
+		r.Progress.Start(n)
+	}
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -90,13 +100,20 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 					r.Obs.Trace.Record(obs.Event{Kind: "trial", Trial: i, WallMs: wall.Milliseconds()})
 				}
 				if err != nil {
+					if ctx.Err() == nil {
+						r.Campaign.PublishAnomaly("trial_error", err.Error(), i)
+					}
 					errOnce.Do(func() {
 						firstErr = err
 						cancel()
 					})
 					break
 				}
-				r.Progress.Done(1)
+				if r.Campaign != nil {
+					r.Campaign.ProgressDone(1)
+				} else {
+					r.Progress.Done(1)
+				}
 			}
 			if r.Obs != nil && busy > 0 {
 				r.Obs.Runner.WorkerBusy.Observe(busy.Milliseconds())
