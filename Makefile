@@ -16,7 +16,7 @@ GATEDIR ?=
 
 .PHONY: check fmt vet lint test race bench benchcmp bench-series gate build cover fuzz fuzzseed determinism
 
-check: fmt vet lint race fuzzseed determinism
+check: fmt vet build lint race fuzzseed determinism
 
 build:
 	$(GO) build ./...
@@ -94,7 +94,7 @@ bench-series:
 gate:
 	@out='$(GATEDIR)'; \
 	if [ -z "$$out" ]; then out=$$(mktemp -d) && trap 'rm -rf "$$out"' EXIT; fi && \
-	$(GO) run ./cmd/witag-bench -experiment all -json "$$out" -log "$$out"/LOG_bench.jsonl >/dev/null && \
+	$(GO) run ./cmd/witag-bench -experiment all -json "$$out" -log "$$out"/LOG_bench.jsonl -timeline >/dev/null && \
 	$(GO) run ./cmd/witag-gate -baseline bench -candidate "$$out" -budget 0
 
 # Whole-repo coverage profile plus the one-line total.
@@ -115,9 +115,10 @@ fuzzseed:
 
 # The worker-count determinism contract, for results AND for the
 # observability layer: metrics snapshots must be identical for 1 vs N
-# workers, attaching instrumentation (or a logging campaign scope) must
-# not change any output, canonicalized campaign logs must be worker-count
-# invariant, and concurrent campaigns must stay byte-identical to solo
-# runs with fully disjoint metrics.
+# workers, attaching instrumentation (or a logging campaign scope, or a
+# timeline) must not change any output, canonicalized campaign logs and
+# logical timeline exports must be worker-count invariant, and concurrent
+# campaigns must stay byte-identical to solo runs with fully disjoint
+# metrics.
 determinism:
-	$(GO) test -run='DeterministicAcrossWorkerCounts|MetricsIdenticalAcrossWorkerCounts|InstrumentationDoesNotPerturbResults|LoggingDoesNotPerturbResults|ConcurrentCampaignsIsolated' ./internal/experiments ./internal/sim
+	$(GO) test -run='DeterministicAcrossWorkerCounts|MetricsIdenticalAcrossWorkerCounts|InstrumentationDoesNotPerturbResults|LoggingDoesNotPerturbResults|TimelineDoesNotPerturbResults|TimelineWindowsIdenticalAcrossWorkerCounts|ConcurrentCampaignsIsolated' ./internal/experiments ./internal/sim

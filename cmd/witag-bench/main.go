@@ -10,7 +10,8 @@
 //	            [-transfer all|arq|fountain|rs] [-traffic all|PROFILE]
 //	            [-profile DIR] [-metrics-addr HOST:PORT] [-trace FILE]
 //	            [-trace-out DIR] [-trace-cap N] [-progress]
-//	            [-log FILE] [-log-level debug|info|warn|error]
+//	            [-timeline] [-timeline-window N] [-timeline-wall DUR]
+//	            [-log FILE] [-log-level debug|info|warn|error] [-version]
 //
 // Scale note: "-rounds" stands in for the paper's one-minute measurement
 // windows; the defaults keep the full suite under a minute of wall time.
@@ -48,6 +49,17 @@
 //	                      written as TRACE_<name>.jsonl under DIR — the
 //	                      files witag-trace analyze/flag/replay consume
 //	-progress             live trials/sec and ETA on stderr
+//	-timeline             capture a windowed metric time-series per
+//	                      experiment (one logical window every
+//	                      -timeline-window completed trials) and write it
+//	                      as TL_<name>.jsonl beside the BENCH artifacts;
+//	                      requires -json DIR. Logical windows are
+//	                      deterministic: the TL bytes are identical at
+//	                      any -parallel. -timeline-wall DUR additionally
+//	                      samples volatile wall-clock windows every DUR
+//	                      (these are excluded from determinism, like any
+//	                      Volatile instrument). Live view: witag-top, or
+//	                      /campaigns/bench/timeseries with -metrics-addr
 //	-log run.jsonl        write the campaign's structured JSONL log there;
 //	                      with -json DIR, a RUNS.jsonl run-ledger line is
 //	                      also appended under DIR
@@ -61,7 +73,6 @@ import (
 	"io"
 	"log/slog"
 	"os"
-	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
@@ -70,6 +81,7 @@ import (
 	"syscall"
 	"time"
 
+	"witag/internal/buildinfo"
 	"witag/internal/cliflags"
 	"witag/internal/experiments"
 	"witag/internal/fault"
@@ -103,6 +115,10 @@ type benchConfig struct {
 	progress    bool
 	logPath     string
 	logLevel    string
+
+	timeline     bool
+	timelineWin  int
+	timelineWall time.Duration
 }
 
 func main() {
@@ -125,7 +141,15 @@ func main() {
 	flag.BoolVar(&cfg.progress, "progress", false, "live trial progress (rate, ETA) on stderr")
 	flag.StringVar(&cfg.logPath, "log", "", "write the campaign's structured JSONL log to this file (empty: off)")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: "+strings.Join(cliflags.LogLevels, ", "))
+	flag.BoolVar(&cfg.timeline, "timeline", false, "write a TL_<name>.jsonl windowed time-series per experiment under -json DIR")
+	flag.IntVar(&cfg.timelineWin, "timeline-window", obs.DefaultTimelineWindow, "completed trials per logical timeline window")
+	flag.DurationVar(&cfg.timelineWall, "timeline-wall", 0, "also sample volatile wall-clock timeline windows at this interval (0: off)")
+	version := flag.Bool("version", false, "print build provenance (git SHA, Go version) and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "witag-bench")
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -171,21 +195,6 @@ func logWriter(f *os.File) io.Writer {
 	return f
 }
 
-// gitSHA resolves the tree the artifacts were built from, for the
-// provenance stamp: WITAG_GIT_SHA wins (CI sets it without needing a
-// checkout), then a best-effort `git rev-parse`; missing git simply
-// leaves the field empty.
-func gitSHA() string {
-	if sha := os.Getenv("WITAG_GIT_SHA"); sha != "" {
-		return sha
-	}
-	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
-}
-
 // provenance builds the stamp shared by every artifact of this run. The
 // timestamp is taken here, once, in the CLI — nothing on the
 // deterministic experiment path reads the clock.
@@ -195,7 +204,7 @@ func provenance(cfg benchConfig) regress.Provenance {
 		workers = runtime.NumCPU()
 	}
 	return regress.Provenance{
-		GitSHA:         gitSHA(),
+		GitSHA:         buildinfo.GitSHA(),
 		GoVersion:      runtime.Version(),
 		TimestampUTC:   time.Now().UTC().Format(time.RFC3339),
 		Seed:           cfg.seed,
@@ -228,6 +237,12 @@ func run(ctx context.Context, cfg benchConfig) (err error) {
 	}
 	if cfg.tracePath != "" && cfg.traceOut != "" {
 		return fmt.Errorf("-trace and -trace-out are exclusive: one ring for the whole run, or one per experiment")
+	}
+	if cfg.timeline && cfg.jsonDir == "" {
+		return fmt.Errorf("-timeline writes TL_<name>.jsonl beside the BENCH artifacts and needs -json DIR")
+	}
+	if cfg.timelineWin <= 0 {
+		return fmt.Errorf("-timeline-window must be >= 1, got %d", cfg.timelineWin)
 	}
 	logLevel, verr := cliflags.LogLevel("-log-level", cfg.logLevel)
 	if verr != nil {
@@ -306,6 +321,7 @@ func run(ctx context.Context, cfg benchConfig) (err error) {
 		rec := obs.RunRecord{
 			Tool: "witag-bench", Campaign: camp.ID, Outcome: outcome,
 			WallMs: camp.WallMs(), Artifacts: artifacts, Provenance: provenance(cfg),
+			Build: buildinfo.Current("witag-bench"),
 		}
 		if err != nil {
 			rec.Error = err.Error()
@@ -411,7 +427,10 @@ func run(ctx context.Context, cfg benchConfig) (err error) {
 	// runExperiment runs one experiment under the right observer. With
 	// -trace-out, the experiment records into its own fresh ring, written
 	// as TRACE_<name>.jsonl under the directory when it finishes — one
-	// self-contained file per experiment for witag-trace to analyze.
+	// self-contained file per experiment for witag-trace to analyze. With
+	// -timeline, the experiment gets its own fresh timeline attached to
+	// the campaign (every runner under it then samples windowed deltas),
+	// written as TL_<name>.jsonl beside the BENCH artifacts.
 	runExperiment := func(name string, fn func(runner sim.Runner) error) error {
 		if !all && cfg.experiment != name {
 			return nil
@@ -422,6 +441,19 @@ func run(ctx context.Context, cfg benchConfig) (err error) {
 		if cfg.traceOut != "" {
 			rec = obs.NewRecorder(cfg.traceCap)
 			o = obs.NewObserver(reg, rec)
+		}
+		var tl *obs.Timeline
+		stopWall := func() {}
+		if cfg.timeline {
+			tl = obs.NewTimeline(reg, obs.TimelineConfig{WindowTrials: cfg.timelineWin})
+			camp.SetTimeline(tl)
+			if cfg.timelineWall > 0 {
+				stopWall = tl.StartWallSampler(cfg.timelineWall)
+			}
+			defer func() {
+				stopWall() // idempotent
+				camp.SetTimeline(nil)
+			}()
 		}
 		prev := experiments.SetObserver(o)
 		var cpuFile *os.File
@@ -451,6 +483,26 @@ func run(ctx context.Context, cfg benchConfig) (err error) {
 		experiments.SetObserver(prev)
 		if err != nil {
 			return err
+		}
+		if tl != nil {
+			stopWall()
+			tl.Flush()
+			path := filepath.Join(cfg.jsonDir, "TL_"+name+".jsonl")
+			f, terr := os.Create(path)
+			if terr != nil {
+				return terr
+			}
+			if terr := tl.WriteJSONL(f); terr != nil {
+				f.Close()
+				return terr
+			}
+			if terr := f.Close(); terr != nil {
+				return terr
+			}
+			artifacts = append(artifacts, "TL_"+name+".jsonl")
+			if d := tl.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "timeline: wrote %d windows to %s (%d older windows dropped)\n", tl.Total()-d, path, d)
+			}
 		}
 		if rec == nil {
 			return nil

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"witag/internal/buildinfo"
 	"witag/internal/cliflags"
 	"witag/internal/regress"
 )
@@ -41,7 +42,12 @@ func main() {
 	flag.Float64Var(&opts.Tolerance, "tol", opts.Tolerance, "relative tolerance band for science series points")
 	flag.Float64Var(&opts.Alpha, "alpha", opts.Alpha, "significance level for the Welch/bootstrap tests")
 	strict := flag.Bool("strict", false, "also exit non-zero on drift (not just regression)")
+	version := flag.Bool("version", false, "print build provenance (git SHA, Go version) and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "witag-gate")
+		return
+	}
 
 	if *candidate == "" {
 		fmt.Fprintln(os.Stderr, "witag-gate: -candidate DIR is required")

@@ -28,6 +28,10 @@
 //	                      ring (-trace-cap events), written as JSONL on
 //	                      exit; the "round" event count equals runs×rounds
 //	-progress             live runs/sec and ETA on stderr
+//	-timeline tl.jsonl    capture a windowed metric time-series (one
+//	                      logical window every -timeline-window completed
+//	                      runs) and write it as JSONL on exit; logical
+//	                      windows are deterministic across -parallel
 //	-cpuprofile cpu.pprof capture a CPU profile of the whole campaign
 //	-memprofile mem.pprof capture an allocation profile (post-GC heap plus
 //	                      cumulative allocs) at campaign end
@@ -52,6 +56,7 @@ import (
 	"strings"
 	"syscall"
 
+	"witag/internal/buildinfo"
 	"witag/internal/channel"
 	"witag/internal/cliflags"
 	"witag/internal/coding"
@@ -91,8 +96,15 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write an allocation profile at campaign end to this file (empty: off)")
 		logPath     = flag.String("log", "", "write the campaign's structured JSONL log to this file and a RUNS.jsonl ledger beside it (empty: off)")
 		logLevel    = flag.String("log-level", "info", "minimum log level: "+strings.Join(cliflags.LogLevels, ", "))
+		tlPath      = flag.String("timeline", "", "write a windowed metric time-series as JSONL to this file (empty: off)")
+		tlWindow    = flag.Int("timeline-window", obs.DefaultTimelineWindow, "completed runs per logical timeline window")
+		version     = flag.Bool("version", false, "print build provenance (git SHA, Go version) and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "witag-sim")
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -103,7 +115,8 @@ func main() {
 		xferStr: *xferFlag, payloadLen: *payloadLen, gain: *gain, tempC: *tempC,
 	}
 	ocfg := obsConfig{metricsAddr: *metricsAddr, tracePath: *tracePath, traceCap: *traceCap, progress: *progress,
-		cpuProfile: *cpuProfile, memProfile: *memProfile, logPath: *logPath, logLevel: *logLevel}
+		cpuProfile: *cpuProfile, memProfile: *memProfile, logPath: *logPath, logLevel: *logLevel,
+		tlPath: *tlPath, tlWindow: *tlWindow}
 	if err := run(ctx, cfg, ocfg, *rounds, *runs, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "witag-sim:", err)
 		os.Exit(1)
@@ -120,6 +133,8 @@ type obsConfig struct {
 	memProfile  string
 	logPath     string
 	logLevel    string
+	tlPath      string
+	tlWindow    int
 }
 
 // deployment is the flag-specified scenario, buildable once per run.
@@ -258,11 +273,15 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 		cliflags.OutputFile("-cpuprofile", ocfg.cpuProfile),
 		cliflags.OutputFile("-memprofile", ocfg.memProfile),
 		cliflags.OutputFile("-log", ocfg.logPath),
+		cliflags.OutputFile("-timeline", ocfg.tlPath),
 		cliflags.MetricsAddr("-metrics-addr", ocfg.metricsAddr),
 	} {
 		if v != nil {
 			return v
 		}
+	}
+	if ocfg.tlWindow <= 0 {
+		return fmt.Errorf("-timeline-window must be >= 1, got %d", ocfg.tlWindow)
 	}
 
 	// Same contract for profile paths: an unwritable -cpuprofile or
@@ -333,6 +352,23 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 		return err
 	}
 	observer, trace := camp.Observer, camp.Trace
+	var tl *obs.Timeline
+	if ocfg.tlPath != "" {
+		tl = obs.NewTimeline(camp.Registry, obs.TimelineConfig{WindowTrials: ocfg.tlWindow})
+		camp.SetTimeline(tl)
+		defer func() {
+			tl.Flush()
+			f, terr := os.Create(ocfg.tlPath)
+			if terr != nil {
+				fmt.Fprintln(os.Stderr, "witag-sim: timeline:", terr)
+				return
+			}
+			defer f.Close()
+			if terr := tl.WriteJSONL(f); terr != nil {
+				fmt.Fprintln(os.Stderr, "witag-sim: timeline:", terr)
+			}
+		}()
+	}
 
 	// Run ledger and final campaign status, written however the run
 	// ends. The ledger lands beside the -log file (no -log, no ledger);
@@ -340,6 +376,9 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 	var artifacts []string
 	if ocfg.tracePath != "" {
 		artifacts = append(artifacts, ocfg.tracePath)
+	}
+	if ocfg.tlPath != "" {
+		artifacts = append(artifacts, ocfg.tlPath)
 	}
 	if ocfg.cpuProfile != "" {
 		artifacts = append(artifacts, ocfg.cpuProfile)
@@ -366,6 +405,7 @@ func run(ctx context.Context, cfg deployment, ocfg obsConfig, rounds, runs, para
 		rec := obs.RunRecord{
 			Tool: "witag-sim", Campaign: camp.ID, Outcome: outcome,
 			WallMs: camp.WallMs(), Artifacts: artifacts,
+			Build: buildinfo.Current("witag-sim"),
 			Provenance: simProvenance{
 				GoVersion: runtime.Version(), AP: cfg.apStr, Tag: cfg.tagStr,
 				Cipher: cfg.cipherStr, Fault: cfg.faultStr, Traffic: cfg.trafficStr,

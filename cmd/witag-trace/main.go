@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	witag-trace analyze [-json] trace.jsonl
+//	witag-trace analyze [-json] [-timeline TL_x.jsonl] trace.jsonl
 //	witag-trace flag [-ber-z Z] [-stall N] [-burst N] [-max-anomalies N]
 //	                 [-json] trace.jsonl
 //	witag-trace replay -trial N [-labels PATH] [-seed N] [-rounds N]
@@ -18,6 +18,12 @@
 // -max-anomalies N, only when more than N trials flag — so it can gate
 // scripts and CI. Both warn when the trace is clipped (ring overwrote
 // events, or the file lost its tail) since counts are then lower bounds.
+//
+// analyze -timeline TL_x.jsonl additionally loads the experiment's
+// timeline artifact (witag-bench -timeline) and aligns every anomaly
+// onto the logical windows whose trial spans contain its trial — "trial
+// 41's loss burst landed in window #5, trials [320,384)" — joining the
+// what (anomaly rules) to the when (campaign timeline).
 //
 // replay re-runs the one trial named by -trial (and -labels, when the
 // trace holds several label paths under one trial ID) through the same
@@ -40,6 +46,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"witag/internal/buildinfo"
 	"witag/internal/cliflags"
 	"witag/internal/experiments"
 	"witag/internal/forensics"
@@ -56,6 +63,9 @@ func main() {
 
 	var err error
 	switch os.Args[1] {
+	case "-version", "--version":
+		buildinfo.Print(os.Stdout, "witag-trace")
+		return
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
 	case "flag":
@@ -78,7 +88,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  witag-trace analyze [-json] trace.jsonl
+  witag-trace analyze [-json] [-timeline TL_x.jsonl] trace.jsonl
   witag-trace flag [-ber-z Z] [-stall N] [-burst N] [-max-anomalies N] [-json] trace.jsonl
   witag-trace replay -trial N [-labels PATH] [-seed N] [-rounds N]
                      [-payload N] [-fault PROFILE] [-out FILE] trace.jsonl`)
@@ -111,7 +121,11 @@ func loadTrace(fs *flag.FlagSet) (*obs.Trace, error) {
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of aligned text")
+	tlPath := fs.String("timeline", "", "TL_<name>.jsonl timeline artifact to align anomalies onto (witag-bench -timeline)")
 	fs.Parse(args)
+	if verr := cliflags.InputFile("-timeline", *tlPath); verr != nil {
+		return verr
+	}
 	tr, err := loadTrace(fs)
 	if err != nil {
 		return err
@@ -123,9 +137,43 @@ func cmdAnalyze(args []string) error {
 			return err
 		}
 		fmt.Print(s)
+	} else {
+		fmt.Print(rep.Render())
+	}
+	if *tlPath == "" {
 		return nil
 	}
-	fmt.Print(rep.Render())
+	// Anomaly → window alignment. The report's own schema (pinned by
+	// golden tests and external consumers) stays untouched: the join is
+	// appended as its own section — a JSON array in -json mode, an
+	// aligned table otherwise.
+	f, err := os.Open(*tlPath)
+	if err != nil {
+		return err
+	}
+	tlog, err := obs.ReadTimelineLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if tlog.Truncated {
+		fmt.Fprintln(os.Stderr, "witag-trace: warning: timeline file has no summary record — it was truncated mid-write")
+	}
+	if tlog.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "witag-trace: warning: timeline ring dropped %d of %d windows before export; early anomalies may not align\n", tlog.Dropped, tlog.Total)
+	}
+	aligned := forensics.AlignAnomalies(rep.Anomalies, tlog.Windows)
+	if *asJSON {
+		buf, err := json.MarshalIndent(aligned, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(buf))
+		return nil
+	}
+	fmt.Printf("\nanomaly timeline alignment (%d logical windows of %d trials):\n",
+		len(tlog.Logical()), tlog.WindowTrials)
+	fmt.Print(forensics.RenderAlignment(aligned))
 	return nil
 }
 

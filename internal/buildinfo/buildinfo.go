@@ -1,0 +1,93 @@
+// Package buildinfo resolves the provenance of the running binary — git
+// revision and Go toolchain — once, for every CLI's -version flag and for
+// the build stamp in RUNS.jsonl ledger records. One resolution order for
+// the whole repo: the WITAG_GIT_SHA environment variable wins (CI sets it
+// without needing a checkout), then the revision Go embedded at build
+// time (debug.ReadBuildInfo vcs.revision, present in `go build` of a
+// checkout but not `go run`), then a best-effort `git rev-parse`; when
+// all three miss, the field is empty, never fatal.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Info is the build provenance stamp.
+type Info struct {
+	Tool      string `json:"tool,omitempty"`
+	GitSHA    string `json:"git_sha,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"` // vcs.modified: uncommitted changes
+	GoVersion string `json:"go_version"`
+}
+
+// Current resolves the running binary's provenance for the named tool.
+func Current(tool string) Info {
+	info := Info{Tool: tool, GoVersion: runtime.Version()}
+	info.GitSHA, info.Dirty = resolveVCS()
+	return info
+}
+
+// GitSHA resolves just the revision — the shape the regress provenance
+// stamp wants.
+func GitSHA() string {
+	sha, _ := resolveVCS()
+	return sha
+}
+
+func resolveVCS() (sha string, dirty bool) {
+	if sha := os.Getenv("WITAG_GIT_SHA"); sha != "" {
+		return sha, false
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				sha = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if sha != "" {
+			return short(sha), dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	return strings.TrimSpace(string(out)), false
+}
+
+// short clips a full 40-hex revision to the 12 characters the rest of
+// the provenance stamps use.
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+// String renders the one-line -version output: tool, revision (with a
+// +dirty marker for modified trees), Go version.
+func (i Info) String() string {
+	sha := i.GitSHA
+	if sha == "" {
+		sha = "unknown"
+	}
+	if i.Dirty {
+		sha += "+dirty"
+	}
+	return fmt.Sprintf("%s %s (%s)", i.Tool, sha, i.GoVersion)
+}
+
+// Print writes the -version line for tool to w — the shared body of
+// every CLI's -version flag.
+func Print(w io.Writer, tool string) {
+	fmt.Fprintln(w, Current(tool).String())
+}

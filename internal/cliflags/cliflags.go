@@ -102,6 +102,23 @@ func InputDir(flagName, dir string) error {
 	return nil
 }
 
+// InputFile requires path (when given) to exist and be a regular file —
+// the read-side twin of OutputFile. Empty means the flag is unset and
+// passes.
+func InputFile(flagName, path string) error {
+	if path == "" {
+		return nil
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("%s: %w", flagName, err)
+	}
+	if fi.IsDir() {
+		return fmt.Errorf("%s: %s is a directory, not a file", flagName, path)
+	}
+	return nil
+}
+
 // OutputFile requires path's parent directory to exist, so the file
 // create at the end of a run cannot be the first time we learn the
 // destination is bogus. It does not create the file (some callers create
@@ -117,6 +134,19 @@ func OutputFile(flagName, path string) error {
 	}
 	if !fi.IsDir() {
 		return fmt.Errorf("%s: %s is not a directory", flagName, dir)
+	}
+	return nil
+}
+
+// MetricsAddrFormat validates that addr parses as host:port without
+// probing it — the client-side twin of MetricsAddr, for tools (like
+// witag-top) that connect to an address another process is serving on.
+func MetricsAddrFormat(flagName, addr string) error {
+	if addr == "" {
+		return fmt.Errorf("%s: address is required", flagName)
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return fmt.Errorf("%s: %q is not host:port: %w", flagName, addr, err)
 	}
 	return nil
 }

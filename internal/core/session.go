@@ -401,6 +401,7 @@ func (s *System) QueryRound(bits []byte) (*RoundResult, error) {
 		}
 		m.SubframesOK.Add(int64(subOK))
 		m.SubframesLost.Add(int64(subLost))
+		m.Bits.Add(int64(len(txBits)))
 		m.BitErrors.Add(int64(res.BitErrors))
 		slots, busy := s.Contender.LastSlots()
 		m.BackoffSlots.Add(int64(slots))

@@ -43,6 +43,10 @@ type Campaign struct {
 	// MinEventInterval rate-limits progress events (default 250 ms).
 	MinEventInterval time.Duration
 
+	// timeline, when set, receives per-window registry deltas from
+	// every runner scoped to this campaign (see Timeline).
+	timeline atomic.Pointer[Timeline]
+
 	startNs atomic.Int64 // wall clock, volatile — status/ledger only
 	done    atomic.Int64
 	total   atomic.Int64
@@ -183,6 +187,25 @@ func (c *Campaign) PublishAnomaly(rule, detail string, trial int) {
 	}
 	c.Events.Publish("anomaly", Anomaly{Campaign: c.ID, Rule: rule, Detail: detail, Trial: trial})
 	c.Logger.Warn("anomaly", slog.String("rule", rule), slog.String("detail", detail), slog.Int("trial", trial))
+}
+
+// SetTimeline attaches (or, with nil, detaches) the campaign's timeline.
+// Runners scoped to the campaign pick it up on their next Each call;
+// like everything a campaign owns it is a pure sink (nil-safe).
+func (c *Campaign) SetTimeline(t *Timeline) {
+	if c == nil {
+		return
+	}
+	c.timeline.Store(t)
+}
+
+// TimelineRef returns the campaign's timeline, nil when none is
+// attached (nil-safe).
+func (c *Campaign) TimelineRef() *Timeline {
+	if c == nil {
+		return nil
+	}
+	return c.timeline.Load()
 }
 
 // PublishPhase emits a "phase" event carrying a phase-attribution

@@ -15,6 +15,7 @@ import (
 //	/campaigns/<id>               one campaign's status JSON
 //	/campaigns/<id>/metrics       Prometheus text (default) or ?format=json snapshot
 //	/campaigns/<id>/events        SSE stream of progress/phase/anomaly/status events
+//	/campaigns/<id>/timeseries    windowed metric time-series JSON (?kind=logical|wall, ?last=N)
 //	/metrics                      process-wide rollup (merged across campaigns)
 //	/metrics?per_campaign=1       label-prefixed rollup (campaign.<id>.<name>)
 //	/healthz                      liveness (always 200 while the process serves)
@@ -78,6 +79,39 @@ func NewHubMux(hub *Hub) *http.ServeMux {
 			_ = snap.WritePrometheusLabeled(w, "campaign", c.ID)
 		case "events":
 			c.Events.ServeSSE(w, r, DefaultEventQueue)
+		case "timeseries":
+			tl := c.TimelineRef()
+			if tl == nil {
+				http.Error(w, "campaign has no timeline (run with -timeline)", http.StatusNotFound)
+				return
+			}
+			wins := tl.Windows()
+			if kind := r.URL.Query().Get("kind"); kind != "" {
+				kept := wins[:0]
+				for _, win := range wins {
+					if win.Kind == kind {
+						kept = append(kept, win)
+					}
+				}
+				wins = kept
+			}
+			if lastStr := r.URL.Query().Get("last"); lastStr != "" {
+				var last int
+				if _, err := fmt.Sscanf(lastStr, "%d", &last); err != nil || last < 0 {
+					http.Error(w, "bad last parameter", http.StatusBadRequest)
+					return
+				}
+				if last < len(wins) {
+					wins = wins[len(wins)-last:]
+				}
+			}
+			writeJSON(w, TimeseriesResponse{
+				Campaign:     c.ID,
+				WindowTrials: tl.Config().WindowTrials,
+				Total:        tl.Total(),
+				Dropped:      tl.Dropped(),
+				Windows:      wins,
+			})
 		default:
 			http.NotFound(w, r)
 		}
@@ -101,6 +135,17 @@ func NewHubMux(hub *Hub) *http.ServeMux {
 		fmt.Fprint(w, "witag observability: /campaigns /metrics /healthz /readyz /debug/vars /debug/pprof/\n")
 	})
 	return mux
+}
+
+// TimeseriesResponse is the /campaigns/<id>/timeseries payload: the
+// campaign's retained timeline windows plus the ring's accounting, so a
+// poller knows when windows were dropped between fetches.
+type TimeseriesResponse struct {
+	Campaign     string           `json:"campaign"`
+	WindowTrials int              `json:"window_trials"`
+	Total        int              `json:"total"`
+	Dropped      int              `json:"dropped"`
+	Windows      []TimelineWindow `json:"windows"`
 }
 
 // ServeHub binds addr and serves hub's endpoints in the background; the

@@ -38,6 +38,9 @@ type RunRecord struct {
 	// Provenance is the run's provenance envelope (the same stamp the
 	// BENCH artifacts carry), opaque to this package.
 	Provenance any `json:"provenance,omitempty"`
+	// Build is the invoking binary's build stamp (buildinfo.Info: git
+	// SHA + Go version), opaque to this package like Provenance.
+	Build any `json:"build,omitempty"`
 }
 
 // AppendRunRecord appends one record to dir's RUNS.jsonl, creating the
@@ -89,4 +92,40 @@ func ReadRunLedger(r io.Reader) ([]RunRecord, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ReadRunLedgerTolerant decodes a RUNS.jsonl stream, tolerating exactly
+// the damage a crash during AppendRunRecord leaves behind: a corrupt or
+// partial *trailing* line is skipped and counted instead of failing.
+// Damage anywhere before the tail is still an error — mid-file garbage
+// means corruption, not an interrupted append.
+func ReadRunLedgerTolerant(r io.Reader) (recs []RunRecord, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The bad line was not the tail after all.
+			return nil, 0, pendingErr
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			pendingErr = fmt.Errorf("obs: ledger line %d: %w", line, err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if pendingErr != nil {
+		skipped = 1
+	}
+	return recs, skipped, nil
 }

@@ -51,3 +51,33 @@ func TestReadRunLedgerRejectsDamage(t *testing.T) {
 		t.Fatalf("damaged ledger read returned %v, want a line-2 error", err)
 	}
 }
+
+func TestReadRunLedgerTolerantSkipsTruncatedTail(t *testing.T) {
+	good := `{"kind":"run","tool":"witag-bench","campaign":"a","outcome":"ok","wall_ms":5}` + "\n"
+
+	// A crash mid-append leaves a partial trailing line: skip and count.
+	recs, skipped, err := ReadRunLedgerTolerant(strings.NewReader(good + good + `{"kind":"run","to`))
+	if err != nil {
+		t.Fatalf("truncated tail must not error: %v", err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("got %d records, %d skipped; want 2 records, 1 skipped", len(recs), skipped)
+	}
+	if recs[0].Tool != "witag-bench" || recs[0].WallMs != 5 {
+		t.Errorf("surviving record lost fields: %+v", recs[0])
+	}
+
+	// A clean ledger reads with nothing skipped.
+	recs, skipped, err = ReadRunLedgerTolerant(strings.NewReader(good + good))
+	if err != nil || len(recs) != 2 || skipped != 0 {
+		t.Fatalf("clean ledger: recs=%d skipped=%d err=%v", len(recs), skipped, err)
+	}
+
+	// Garbage before the tail is corruption, exactly like ReadRunLedger.
+	if _, _, err := ReadRunLedgerTolerant(strings.NewReader("not json\n" + good)); err == nil {
+		t.Fatal("mid-file damage must still error")
+	}
+	if _, _, err := ReadRunLedgerTolerant(strings.NewReader(good + "not json\n" + good)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("mid-file damage error = %v, want line-2 error", err)
+	}
+}

@@ -13,6 +13,7 @@ type CoreMetrics struct {
 	BALosses      *Counter   // rounds erased by a lost block ACK
 	SubframesOK   *Counter   // subframe verdicts: decoded at the AP
 	SubframesLost *Counter   // subframe verdicts: lost
+	Bits          *Counter   // tag bits carried across all rounds
 	BitErrors     *Counter   // tag bit errors across all rounds
 	BackoffSlots  *Counter   // DCF backoff slots counted down
 	BusySlots     *Counter   // backoff slots frozen by other traffic
@@ -28,6 +29,7 @@ func NewCoreMetrics(r *Registry) *CoreMetrics {
 		BALosses:      r.Counter("core.rounds_ba_lost"),
 		SubframesOK:   r.Counter("core.subframes_ok"),
 		SubframesLost: r.Counter("core.subframes_lost"),
+		Bits:          r.Counter("core.bits"),
 		BitErrors:     r.Counter("core.bit_errors"),
 		BackoffSlots:  r.Counter("core.backoff_slots"),
 		BusySlots:     r.Counter("core.busy_slots"),

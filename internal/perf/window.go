@@ -1,0 +1,30 @@
+package perf
+
+import "witag/internal/obs"
+
+// Per-window phase attribution. A timeline window's delta is the same
+// shape as a campaign's metrics delta, so the whole Report machinery
+// applies window-by-window — turning "viterbi is 60% of the run" into
+// "viterbi's share climbed from 40% to 70% as the sweep reached the far
+// distances". Phase spans are volatile ns histograms, so only wall
+// windows carry them; logical windows produce structurally valid reports
+// with zero phase data.
+
+// WindowReport builds a phase-attribution report from one timeline
+// window's delta.
+func WindowReport(w obs.TimelineWindow) *Report {
+	return FromSnapshot(w.Delta)
+}
+
+// ShareSeries extracts one phase's wall-time share per window, in window
+// order — the trajectory a dashboard plots. Windows without span data
+// (all logical windows, and wall windows before the first trial) yield 0.
+func ShareSeries(wins []obs.TimelineWindow, phase string) []float64 {
+	out := make([]float64, len(wins))
+	for i, w := range wins {
+		if ps := WindowReport(w).Phase(phase); ps != nil {
+			out[i] = ps.WallShare
+		}
+	}
+	return out
+}

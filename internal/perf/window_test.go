@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"testing"
+
+	"witag/internal/obs"
+)
+
+// wallWindow fabricates a wall timeline window whose delta carries the
+// runner wall histogram plus one phase span — the shape a real sampler
+// produces mid-campaign.
+func wallWindow(trials, wallUsSum, viterbiNsSum int64) obs.TimelineWindow {
+	return obs.TimelineWindow{
+		Kind: obs.WindowWall,
+		Delta: obs.Snapshot{
+			Counters: map[string]int64{"runner.trials_started": trials},
+			Histograms: map[string]obs.HistogramSnapshot{
+				"runner.trial_wall_us": {Sum: wallUsSum, Count: trials},
+				"span.viterbi_ns":      {Sum: viterbiNsSum, Count: trials},
+			},
+		},
+	}
+}
+
+func TestWindowReportAttributesPhases(t *testing.T) {
+	// 1000 µs of trial wall = 1e6 ns; viterbi holds 600k ns of it.
+	rep := WindowReport(wallWindow(4, 1000, 600_000))
+	if rep.Trials != 4 || rep.WallTotalNs != 1_000_000 {
+		t.Fatalf("report = trials %d wall %d ns", rep.Trials, rep.WallTotalNs)
+	}
+	ps := rep.Phase("viterbi")
+	if ps == nil {
+		t.Fatal("viterbi phase missing from window report")
+	}
+	if ps.WallShare != 0.6 {
+		t.Errorf("viterbi share = %v, want 0.6", ps.WallShare)
+	}
+}
+
+func TestShareSeriesTracksPhaseTrajectory(t *testing.T) {
+	wins := []obs.TimelineWindow{
+		wallWindow(4, 1000, 400_000),
+		wallWindow(4, 1000, 700_000),
+		// Logical windows carry no span data (volatile): share 0.
+		{Kind: obs.WindowLogical, Delta: obs.Snapshot{
+			Counters: map[string]int64{"runner.trials_started": 4},
+		}},
+	}
+	got := ShareSeries(wins, "viterbi")
+	want := []float64{0.4, 0.7, 0}
+	if len(got) != len(want) {
+		t.Fatalf("series length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("share[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := ShareSeries(nil, "viterbi"); len(got) != 0 {
+		t.Errorf("empty series = %v", got)
+	}
+	if got := ShareSeries(wins, "no_such_phase"); got[0] != 0 {
+		t.Errorf("unknown phase share = %v, want zeros", got)
+	}
+}

@@ -29,6 +29,25 @@ type Runner struct {
 	// failed trial), and Progress above is ignored to avoid counting
 	// every item twice. Also purely a sink.
 	Campaign *obs.Campaign
+	// Timeline, when non-nil (or attached to Campaign), receives
+	// per-window registry deltas keyed by completed-trial count. To
+	// keep those deltas worker-count deterministic, Each then executes
+	// in window-sized chunks: every trial of a window completes (a pool
+	// barrier) before the window's delta is sampled, so the delta is
+	// exactly the sum of that window's trials' contributions. With no
+	// timeline there is a single chunk and behaviour is unchanged.
+	// Trial results are identical either way — each trial's work is a
+	// pure function of its index and seed labels.
+	Timeline *obs.Timeline
+}
+
+// timelineRef resolves the runner's timeline: the explicit field wins,
+// else the campaign's attached timeline, else nil.
+func (r Runner) timelineRef() *obs.Timeline {
+	if r.Timeline != nil {
+		return r.Timeline
+	}
+	return r.Campaign.TimelineRef()
 }
 
 func (r Runner) workers() int {
@@ -48,10 +67,6 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 	if n <= 0 {
 		return ctx.Err()
 	}
-	workers := r.workers()
-	if workers > n {
-		workers = n
-	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -60,67 +75,100 @@ func (r Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i 
 	} else {
 		r.Progress.Start(n)
 	}
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		rtBefore obs.RuntimeStats
-	)
+	var rtBefore obs.RuntimeStats
 	if r.Obs != nil {
 		rtBefore = obs.ReadRuntimeStats()
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var busy time.Duration
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || ctx.Err() != nil {
-					break
-				}
-				var start time.Time
-				if r.Obs != nil {
-					r.Obs.Runner.TrialsStarted.Inc()
-					start = time.Now()
-				}
-				err := fn(ctx, i)
-				if r.Obs != nil {
-					wall := time.Since(start)
-					busy += wall
-					m := r.Obs.Runner
+
+	// runRange fans trials [lo, hi) across the pool and blocks until all
+	// of them return — one chunk. Returns the first trial error (which
+	// also cancels ctx for the whole Each).
+	runRange := func(lo, hi int) error {
+		workers := r.workers()
+		if workers > hi-lo {
+			workers = hi - lo
+		}
+		var (
+			next     atomic.Int64
+			wg       sync.WaitGroup
+			errOnce  sync.Once
+			firstErr error
+		)
+		next.Store(int64(lo))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var busy time.Duration
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= hi || ctx.Err() != nil {
+						break
+					}
+					var start time.Time
+					if r.Obs != nil {
+						r.Obs.Runner.TrialsStarted.Inc()
+						start = time.Now()
+					}
+					err := fn(ctx, i)
+					if r.Obs != nil {
+						wall := time.Since(start)
+						busy += wall
+						m := r.Obs.Runner
+						if err != nil {
+							m.TrialsFailed.Inc()
+						} else {
+							m.TrialsDone.Inc()
+						}
+						m.TrialWall.Observe(wall.Milliseconds())
+						m.TrialWallUs.Observe(wall.Microseconds())
+						r.Obs.Trace.Record(obs.Event{Kind: "trial", Trial: i, WallMs: wall.Milliseconds()})
+					}
 					if err != nil {
-						m.TrialsFailed.Inc()
+						if ctx.Err() == nil {
+							r.Campaign.PublishAnomaly("trial_error", err.Error(), i)
+						}
+						errOnce.Do(func() {
+							firstErr = err
+							cancel()
+						})
+						break
+					}
+					if r.Campaign != nil {
+						r.Campaign.ProgressDone(1)
 					} else {
-						m.TrialsDone.Inc()
+						r.Progress.Done(1)
 					}
-					m.TrialWall.Observe(wall.Milliseconds())
-					m.TrialWallUs.Observe(wall.Microseconds())
-					r.Obs.Trace.Record(obs.Event{Kind: "trial", Trial: i, WallMs: wall.Milliseconds()})
 				}
-				if err != nil {
-					if ctx.Err() == nil {
-						r.Campaign.PublishAnomaly("trial_error", err.Error(), i)
-					}
-					errOnce.Do(func() {
-						firstErr = err
-						cancel()
-					})
-					break
+				if r.Obs != nil && busy > 0 {
+					r.Obs.Runner.WorkerBusy.Observe(busy.Milliseconds())
 				}
-				if r.Campaign != nil {
-					r.Campaign.ProgressDone(1)
-				} else {
-					r.Progress.Done(1)
-				}
-			}
-			if r.Obs != nil && busy > 0 {
-				r.Obs.Runner.WorkerBusy.Observe(busy.Milliseconds())
-			}
-		}()
+			}()
+		}
+		wg.Wait()
+		return firstErr
 	}
-	wg.Wait()
+
+	var firstErr error
+	if tl := r.timelineRef(); tl == nil {
+		firstErr = runRange(0, n)
+	} else {
+		// Chunked execution: each chunk tops up the open logical window,
+		// and the barrier between chunks makes the sampled delta exactly
+		// that window's trials — deterministic at any worker count.
+		tl.BeginSegment()
+		for lo := 0; lo < n && firstErr == nil && ctx.Err() == nil; {
+			hi := lo + tl.ChunkLimit()
+			if hi > n || hi <= lo {
+				hi = n
+			}
+			firstErr = runRange(lo, hi)
+			if firstErr == nil && ctx.Err() == nil {
+				tl.NoteTrials(lo, hi)
+			}
+			lo = hi
+		}
+	}
 	if r.Obs != nil {
 		// Process-global runtime deltas attributed to this campaign:
 		// accurate because campaigns run sequentially within a process.
